@@ -1,0 +1,99 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-quick] [-scale N] <id>|all
+//
+// where <id> is one of: fig5 fig6 fig7 fig8 fig12 fig13 fig14 fig15
+// table1 table3 comm super hybrid footprint gpucap swopt.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"nmppak/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		quick = flag.Bool("quick", false, "use the small test workload")
+		scale = flag.Int("scale", 0, "override genome length (bp)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [-quick] [-scale N] <fig5|fig6|fig7|fig8|fig12|fig13|fig14|fig15|table1|table3|comm|super|hybrid|footprint|gpucap|swopt|ablation|all>")
+		os.Exit(2)
+	}
+	w := experiments.DefaultWorkload()
+	if *quick {
+		w = experiments.QuickWorkload()
+	}
+	if *scale > 0 {
+		w.GenomeLen = *scale
+	}
+	ctx, err := experiments.NewContext(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var runs *experiments.SystemRuns
+	needRuns := func() *experiments.SystemRuns {
+		if runs == nil {
+			log.Printf("simulating all system configurations...")
+			r, err := experiments.RunSystems(ctx)
+			if err != nil {
+				log.Fatal(err)
+			}
+			runs = r
+		}
+		return runs
+	}
+
+	drivers := map[string]func() (*experiments.Report, error){
+		"fig5":      func() (*experiments.Report, error) { return experiments.Fig5(ctx) },
+		"fig6":      func() (*experiments.Report, error) { return experiments.Fig6(ctx) },
+		"fig7":      func() (*experiments.Report, error) { return experiments.Fig7(ctx) },
+		"fig8":      func() (*experiments.Report, error) { return experiments.Fig8(ctx) },
+		"fig12":     func() (*experiments.Report, error) { return experiments.Fig12(ctx, needRuns()) },
+		"fig13":     func() (*experiments.Report, error) { return experiments.Fig13(ctx, needRuns()) },
+		"fig14":     func() (*experiments.Report, error) { return experiments.Fig14(ctx, needRuns()) },
+		"fig15":     func() (*experiments.Report, error) { return experiments.Fig15(ctx) },
+		"table1":    func() (*experiments.Report, error) { return experiments.Table1(ctx) },
+		"table3":    func() (*experiments.Report, error) { return experiments.Table3(ctx) },
+		"comm":      func() (*experiments.Report, error) { return experiments.Comm(ctx) },
+		"super":     func() (*experiments.Report, error) { return experiments.Super(ctx, needRuns()) },
+		"hybrid":    func() (*experiments.Report, error) { return experiments.HybridReport(ctx) },
+		"footprint": func() (*experiments.Report, error) { return experiments.Footprint(ctx) },
+		"gpucap":    func() (*experiments.Report, error) { return experiments.GPUCap(ctx) },
+		"swopt":     func() (*experiments.Report, error) { return experiments.SWOpt(ctx) },
+		"ablation":  func() (*experiments.Report, error) { return experiments.Ablation(ctx) },
+	}
+	order := []string{"fig5", "fig6", "fig7", "fig8", "table1", "fig12", "fig13", "fig14",
+		"fig15", "comm", "super", "table3", "hybrid", "footprint", "gpucap", "swopt", "ablation"}
+
+	id := flag.Arg(0)
+	if id == "all" {
+		for _, name := range order {
+			r, err := drivers[name]()
+			if err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+			fmt.Println(r.String())
+		}
+		return
+	}
+	d, ok := drivers[id]
+	if !ok {
+		log.Fatalf("unknown experiment %q", id)
+	}
+	r, err := d()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(r.String())
+}

@@ -1,0 +1,85 @@
+// Command genreads synthesizes a reference genome and sequences it into
+// FASTQ short reads — the repository's substitute for the ART simulator
+// the paper uses (§5.1).
+//
+// Usage:
+//
+//	genreads -length 1000000 -coverage 30 -error 0.01 -out reads.fastq
+//	         [-genome-out ref.fasta] [-read-len 100] [-gc 0.5]
+//	         [-repeat-frac 0] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"nmppak"
+	"nmppak/internal/fastx"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("genreads: ")
+	var (
+		length     = flag.Int("length", 1_000_000, "genome length in bp")
+		gc         = flag.Float64("gc", 0.5, "GC content")
+		repeatFrac = flag.Float64("repeat-frac", 0, "repeat fraction [0,1)")
+		replicons  = flag.Int("replicons", 1, "number of replicons")
+		readLen    = flag.Int("read-len", 100, "read length (paper: 100)")
+		coverage   = flag.Float64("coverage", 30, "mean coverage (paper: 100)")
+		errRate    = flag.Float64("error", 0.01, "substitution error rate")
+		seed       = flag.Int64("seed", 42, "PRNG seed")
+		out        = flag.String("out", "reads.fastq", "output FASTQ")
+		genomeOut  = flag.String("genome-out", "", "also write the reference FASTA")
+	)
+	flag.Parse()
+
+	g, err := nmppak.GenerateGenome(nmppak.GenomeConfig{
+		Length: *length, GC: *gc, RepeatFraction: *repeatFrac, Replicons: *replicons, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reads, err := nmppak.SimulateReads(g, nmppak.ReadConfig{
+		ReadLen: *readLen, Coverage: *coverage, ErrorRate: *errRate, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	recs := make([]fastx.Record, len(reads))
+	for i, r := range reads {
+		recs[i] = fastx.Record{
+			ID:   fmt.Sprintf("read_%d pos=%d:%d", i, r.Replicon, r.Pos),
+			Seq:  r.Seq.String(),
+			Qual: string(r.Qual),
+		}
+	}
+	if err := fastx.WriteFastq(f, recs); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d reads (%d bp genome at %.0fx) to %s", len(reads), g.TotalLength(), *coverage, *out)
+
+	if *genomeOut != "" {
+		gf, err := os.Create(*genomeOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer gf.Close()
+		var grecs []fastx.Record
+		for i, r := range g.Replicons {
+			grecs = append(grecs, fastx.Record{ID: g.Names[i], Seq: r.String()})
+		}
+		if err := fastx.WriteFasta(gf, grecs, 70); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote reference to %s", *genomeOut)
+	}
+}

@@ -1,0 +1,35 @@
+// Quickstart: synthesize a small genome, sequence it with 1% errors,
+// assemble it with the PaKman pipeline, and print the assembly metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nmppak"
+)
+
+func main() {
+	g, err := nmppak.GenerateGenome(nmppak.GenomeConfig{Length: 100_000, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reads, err := nmppak.SimulateReads(g, nmppak.ReadConfig{
+		ReadLen: 100, Coverage: 30, ErrorRate: 0.01, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("genome: %d bp, reads: %d (30x coverage, 1%% error)\n", g.TotalLength(), len(reads))
+
+	out, err := nmppak.Assemble(reads, nmppak.AssemblyConfig{K: 32, MinCount: 3, MinContigLen: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum := nmppak.Summarize(out.Contigs, g.Replicons)
+	fmt.Printf("contigs: %d   N50: %d   longest: %d   genome fraction: %.3f\n",
+		sum.Contigs, sum.N50, sum.LongestLen, sum.GenomeFrac)
+	fmt.Printf("stage times: kmer %.3fs  construct %.3fs  compact %.3fs  walk %.3fs\n",
+		out.Times.KmerCount.Seconds(), out.Times.Construct.Seconds(),
+		out.Times.Compact.Seconds(), out.Times.Walk.Seconds())
+}

@@ -1,0 +1,148 @@
+package compact
+
+import (
+	"nmppak/internal/dna"
+	"nmppak/internal/pakgraph"
+)
+
+// Apply folds a batch of TransferNode updates into destination node n
+// (Stage P3, Fig. 4d). Updates on the suffix side and prefix side are
+// independent. For each distinct match extension, the matching extension is
+// consumed and replaced by one new extension per update (a prefix of the
+// invalidated node that was wired to two suffixes splits the predecessor's
+// extension in two), and the wires that referenced the consumed extension
+// are redistributed over the replacements proportionally to their counts.
+// The node is then normalized: dead extensions are removed, duplicate
+// extensions and parallel wires are merged, and balance is restored in case
+// counts disagreed.
+//
+// It returns the number of updates dropped because their match extension
+// was not present (zero on structurally consistent graphs; asserted by
+// tests).
+func Apply(n *pakgraph.MacroNode, updates []Update) (dropped int) {
+	var suf, pre []Update
+	for _, u := range updates {
+		if u.SuffixSide {
+			suf = append(suf, u)
+		} else {
+			pre = append(pre, u)
+		}
+	}
+	dropped += applySide(n, true, suf)
+	dropped += applySide(n, false, pre)
+	normalize(n)
+	return dropped
+}
+
+// applySide performs the replacement on one side's extension list and
+// redistributes the wires referencing each consumed extension.
+func applySide(n *pakgraph.MacroNode, suffixSide bool, updates []Update) (dropped int) {
+	if len(updates) == 0 {
+		return 0
+	}
+	exts := &n.Suffixes
+	if !suffixSide {
+		exts = &n.Prefixes
+	}
+	sideIdx := func(w *pakgraph.Wire) *int32 {
+		if suffixSide {
+			return &w.S
+		}
+		return &w.P
+	}
+	origLen := len(*exts)
+	consumed := make([]bool, origLen)
+
+	// Group updates by their match extension, preserving order.
+	type group struct {
+		match dna.Seq
+		ups   []Update
+	}
+	var groups []group
+	for _, u := range updates {
+		found := false
+		for gi := range groups {
+			if groups[gi].match.Equal(u.Match) {
+				groups[gi].ups = append(groups[gi].ups, u)
+				found = true
+				break
+			}
+		}
+		if !found {
+			groups = append(groups, group{match: u.Match, ups: []Update{u}})
+		}
+	}
+
+	for _, grp := range groups {
+		// Locate the (unique, non-terminal) extension equal to the match
+		// among the original entries.
+		j := -1
+		for i := 0; i < origLen; i++ {
+			e := (*exts)[i]
+			if !e.Terminal && !consumed[i] && e.Seq.Equal(grp.match) {
+				j = i
+				break
+			}
+		}
+		if j < 0 {
+			dropped += len(grp.ups)
+			continue
+		}
+		consumed[j] = true
+
+		// Append the replacement extensions.
+		newIdx := make([]int32, 0, len(grp.ups))
+		newRem := make([]uint32, 0, len(grp.ups))
+		for _, u := range grp.ups {
+			*exts = append(*exts, pakgraph.Ext{Seq: u.NewSeq, Count: u.Count, Weight: u.Weight, Terminal: u.NewTerminal})
+			newIdx = append(newIdx, int32(len(*exts)-1))
+			newRem = append(newRem, u.Count)
+		}
+
+		// Redistribute the wires that referenced j across the replacements
+		// with a count-matching two-pointer sweep (same scheme as Rewire).
+		// Old wires are zeroed; their traffic reappears as fresh wires.
+		var rebuilt []pakgraph.Wire
+		ni := 0
+		for wi := range n.Wires {
+			w := &n.Wires[wi]
+			if *sideIdx(w) != int32(j) || w.Count == 0 {
+				continue
+			}
+			remaining := w.Count
+			w.Count = 0
+			for remaining > 0 {
+				for ni < len(newIdx) && newRem[ni] == 0 {
+					ni++
+				}
+				slot := ni
+				if slot >= len(newIdx) {
+					slot = len(newIdx) - 1 // residual from count mismatch
+				}
+				take := remaining
+				if slot == ni && newRem[ni] < take {
+					take = newRem[ni]
+				}
+				nw := *w
+				nw.Count = take
+				*sideIdx(&nw) = newIdx[slot]
+				rebuilt = append(rebuilt, nw)
+				if slot == ni {
+					newRem[ni] -= take
+				}
+				remaining -= take
+			}
+		}
+		n.Wires = append(n.Wires, rebuilt...)
+	}
+
+	// Mark consumed extensions dead; normalize() removes them and remaps
+	// wire indices.
+	for i := 0; i < origLen; i++ {
+		if consumed[i] {
+			(*exts)[i].Count = 0
+			(*exts)[i].Seq = dna.Seq{}
+		}
+	}
+	return dropped
+}

@@ -1,0 +1,277 @@
+// Package compact implements PaKman's Iterative Compaction (Fig. 2D and
+// Fig. 4 of the paper), the stage NMP-PaK accelerates.
+//
+// Each iteration performs three conceptual stages, mirroring the paper's PE
+// pipeline (Fig. 10):
+//
+//	P1 (invalidation check)      — a node is invalidated when its (k-1)-mer
+//	                               is strictly the lexicographically largest
+//	                               among all its neighbors' keys.
+//	P2 (TransferNode extraction) — each wire (prefix p, suffix s, count c)
+//	                               of an invalidated node v becomes up to two
+//	                               TransferNodes: one rewrites the
+//	                               predecessor's suffix extension, one the
+//	                               successor's prefix extension, so the
+//	                               neighbors connect directly and v can be
+//	                               deleted without losing sequence.
+//	P3 (routing and update)      — TransferNodes are applied to their
+//	                               destination MacroNodes.
+//
+// Two engine flows are provided with identical graph semantics but
+// different memory-traffic profiles (the distinction behind Fig. 14):
+// FlowSequential models the original stage-by-stage algorithm (every stage
+// sweeps all MacroNodes and the intermediate TransferNodes are materialized
+// in memory), while FlowPipelined models the refined node-granular flow of
+// §4.5 (data read in P1 is reused by P2/P3; TransferNodes stay on chip).
+//
+// Because every invalidated node is strictly larger than all of its
+// neighbors, no two adjacent nodes are ever invalidated in the same
+// iteration; all updates of an iteration are computed against the
+// iteration-start state and are commutative, which is exactly what lets the
+// paper's hardware process MacroNodes in a pipelined systolic fashion.
+package compact
+
+import (
+	"fmt"
+
+	"nmppak/internal/dna"
+	"nmppak/internal/pakgraph"
+	"nmppak/internal/par"
+)
+
+// Flow selects the memory/process-flow model; graph results are identical.
+type Flow int
+
+const (
+	// FlowPipelined is the refined node-granular flow (§4.5) used by
+	// CPU-PaK and NMP-PaK.
+	FlowPipelined Flow = iota
+	// FlowSequential is the original stage-sequential flow (the paper's
+	// CPU baseline).
+	FlowSequential
+)
+
+// Options configures a compaction run.
+type Options struct {
+	Workers int
+	// Threshold stops compaction once the live node count drops below it
+	// (the paper iterates "until # MN < threshold (100,000)"); <=0 means
+	// compact until no node is invalidatable.
+	Threshold int
+	// MaxIters bounds the iteration count as a safety net; <=0 means
+	// unbounded.
+	MaxIters int
+	Flow     Flow
+	// Observer receives per-node events for trace generation; may be nil.
+	Observer Observer
+}
+
+// IterStats summarizes one compaction iteration.
+type IterStats struct {
+	Iter        int
+	LiveNodes   int
+	Invalidated int
+	Transfers   int   // TransferNodes routed (target-side updates)
+	Contigs     int   // both-terminal wires emitted as finished contigs
+	ReadBytes   int64 // flow-dependent memory reads
+	WriteBytes  int64 // flow-dependent memory writes
+	TNBytes     int64 // total TransferNode payload routed
+	DroppedTN   int   // updates whose match extension was missing
+}
+
+// Observer receives the per-node event stream of a compaction run. All
+// callbacks for one iteration happen between BeginIteration and
+// EndIteration; ScanNode is called once per live node in ascending key
+// order; Transfer/UpdateNode are called in deterministic order. Implemented
+// by trace.Builder.
+type Observer interface {
+	BeginIteration(iter, liveNodes int)
+	// ScanNode reports the P1 visit of one node: its key, the data1/data2
+	// sizes, extension count, wire count, and the invalidation decision.
+	ScanNode(key dna.Kmer, d1, d2, exts, wires int, invalidated bool)
+	// Transfer reports one TransferNode routed from src to dst.
+	Transfer(src, dst dna.Kmer, tnBytes int, suffixSide bool)
+	// UpdateNode reports the P3 update of a destination node with the
+	// bytes read (old node) and written (new node).
+	UpdateNode(key dna.Kmer, readBytes, writeBytes int)
+	EndIteration(IterStats)
+}
+
+// Result of a compaction run.
+type Result struct {
+	Iterations int
+	Stats      []IterStats
+	// Completed holds contigs finished during compaction (wires whose both
+	// sides were terminal when their node was invalidated).
+	Completed []dna.Seq
+}
+
+// Update is one TransferNode application: replace the extension of Target
+// that equals Match (on the given side) with NewSeq/NewTerminal/Count.
+// Fig. 4(c)-(d) of the paper shows exactly this operation.
+type Update struct {
+	Target      dna.Kmer
+	SuffixSide  bool
+	Match       dna.Seq
+	NewSeq      dna.Seq
+	NewTerminal bool
+	Count       uint32 // structural multiplicity (wire count)
+	Weight      uint32 // coverage weight carried into the new extension
+}
+
+// TNBytes models the serialized TransferNode size: destination key, the
+// match extension, the replacement extension, count and flags.
+func (u *Update) TNBytes() int {
+	return 8 + u.Match.PackedBytes() + u.NewSeq.PackedBytes() + 6
+}
+
+// Run compacts g in place until Options.Threshold/MaxIters or a fixed
+// point, returning per-iteration statistics and any finished contigs.
+func Run(g *pakgraph.Graph, opt Options) (*Result, error) {
+	if g.K < 2 {
+		return nil, fmt.Errorf("compact: invalid graph k=%d", g.K)
+	}
+	res := &Result{}
+	for iter := 0; ; iter++ {
+		if opt.MaxIters > 0 && iter >= opt.MaxIters {
+			break
+		}
+		if opt.Threshold > 0 && g.Len() < opt.Threshold {
+			break
+		}
+		st := runIteration(g, iter, opt, res)
+		res.Stats = append(res.Stats, st)
+		res.Iterations++
+		if st.Invalidated == 0 {
+			break
+		}
+	}
+	return res, nil
+}
+
+// runIteration executes one iteration: parallel invalidation check over the
+// iteration-start state, extraction, grouped update application, then
+// deletion of invalidated nodes.
+func runIteration(g *pakgraph.Graph, iter int, opt Options, res *Result) IterStats {
+	k1 := g.K1()
+	keys := g.SortedKeys()
+	st := IterStats{Iter: iter, LiveNodes: len(keys)}
+	if opt.Observer != nil {
+		opt.Observer.BeginIteration(iter, len(keys))
+	}
+
+	// Phase A+B fused: decide invalidation and extract updates per node.
+	type nodeOut struct {
+		invalidated bool
+		updates     []Update
+		contigs     []dna.Seq
+	}
+	outs := make([]nodeOut, len(keys))
+	par.For(len(keys), opt.Workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			n := g.Nodes[keys[i]]
+			if !n.IsInvalidationTarget(k1) {
+				continue
+			}
+			outs[i].invalidated = true
+			outs[i].updates, outs[i].contigs = Extract(n, k1)
+		}
+	})
+
+	// Deterministic observer pass + accounting, in ascending key order.
+	// sumD1/sumD12 aggregate the P1 ("MN data1") and full-node footprints
+	// of all live nodes, the quantities the two flows' traffic models are
+	// built from.
+	var updates []Update
+	var sumD1, sumD12, sumInvD2 int64
+	for i, key := range keys {
+		n := g.Nodes[key]
+		d1, d2 := n.Data1Bytes(), n.Data2Bytes()
+		sumD1 += int64(d1)
+		sumD12 += int64(d1 + d2)
+		if opt.Observer != nil {
+			opt.Observer.ScanNode(key, d1, d2, len(n.Prefixes)+len(n.Suffixes), len(n.Wires), outs[i].invalidated)
+		}
+		if outs[i].invalidated {
+			st.Invalidated++
+			sumInvD2 += int64(d2)
+			res.Completed = append(res.Completed, outs[i].contigs...)
+			st.Contigs += len(outs[i].contigs)
+			for ui := range outs[i].updates {
+				u := &outs[i].updates[ui]
+				st.TNBytes += int64(u.TNBytes())
+				if opt.Observer != nil {
+					opt.Observer.Transfer(key, u.Target, u.TNBytes(), u.SuffixSide)
+				}
+			}
+			updates = append(updates, outs[i].updates...)
+		}
+	}
+	st.Transfers = len(updates)
+
+	// Phase C: group updates by target and apply. Updates for distinct
+	// targets are independent; within a target they are applied in the
+	// deterministic order accumulated above.
+	byTarget := make(map[dna.Kmer][]Update)
+	var targetOrder []dna.Kmer
+	for _, u := range updates {
+		if _, ok := byTarget[u.Target]; !ok {
+			targetOrder = append(targetOrder, u.Target)
+		}
+		byTarget[u.Target] = append(byTarget[u.Target], u)
+	}
+	type updOut struct {
+		readBytes, writeBytes int
+		dropped               int
+	}
+	uouts := make([]updOut, len(targetOrder))
+	par.ForIdx(len(targetOrder), opt.Workers, func(i int) {
+		n := g.Nodes[targetOrder[i]]
+		if n == nil {
+			uouts[i].dropped = len(byTarget[targetOrder[i]])
+			return
+		}
+		uouts[i].readBytes = n.Data1Bytes() + n.Data2Bytes()
+		uouts[i].dropped = Apply(n, byTarget[targetOrder[i]])
+		uouts[i].writeBytes = n.Data1Bytes() + n.Data2Bytes()
+	})
+	var sumTgtOld, sumTgtNew int64
+	for i, key := range targetOrder {
+		st.DroppedTN += uouts[i].dropped
+		sumTgtOld += int64(uouts[i].readBytes)
+		sumTgtNew += int64(uouts[i].writeBytes)
+		if opt.Observer != nil {
+			opt.Observer.UpdateNode(key, uouts[i].readBytes, uouts[i].writeBytes)
+		}
+	}
+
+	// Delete invalidated nodes (the optimized algorithm defers physical
+	// deletion; semantically they are gone either way).
+	for i, key := range keys {
+		if outs[i].invalidated {
+			delete(g.Nodes, key)
+		}
+	}
+
+	// Memory-traffic model (Fig. 14):
+	switch opt.Flow {
+	case FlowPipelined:
+		// P1 reads data1 of every live node; P2 reuses it and adds only the
+		// wiring (data2) of invalidated nodes; TransferNodes travel through
+		// the crossbar/scratchpads, never through memory; P3 reads and
+		// rewrites only the destination nodes.
+		st.ReadBytes = sumD1 + sumInvD2 + sumTgtOld
+		st.WriteBytes = sumTgtNew
+	case FlowSequential:
+		// The original flow sweeps the full MacroNode set in each of the
+		// three stages (P2 and P3 re-read what P1 already read), spills the
+		// TransferNode list to memory between P2 and P3, and rewrites all
+		// surviving nodes during the per-iteration reallocation/move.
+		st.ReadBytes = sumD1 + 2*sumD12 + st.TNBytes
+		st.WriteBytes = st.TNBytes + (sumD12 - sumTgtOld + sumTgtNew)
+	}
+	if opt.Observer != nil {
+		opt.Observer.EndIteration(st)
+	}
+	return st
+}

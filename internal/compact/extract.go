@@ -1,0 +1,68 @@
+package compact
+
+import (
+	"nmppak/internal/dna"
+	"nmppak/internal/pakgraph"
+)
+
+// Extract computes the TransferNodes of an invalidated node v (Stage P2,
+// Fig. 4c). For each wire (prefix p, suffix s, count c):
+//
+//   - predecessor u = (p+v)[:k-1] holds a suffix extension equal to
+//     (p+v)[k-1:] that points at v; it must become that extension with s
+//     appended, carrying s's terminal flag (Fig. 4d: new_ext = pred_ext +
+//     suffix);
+//   - successor w = (v+s)[|s|:] holds a prefix extension equal to
+//     (v+s)[:|s|]; it must become p + that extension, carrying p's terminal
+//     flag.
+//
+// A terminal side has no corresponding neighbor, so its transfer is
+// skipped; a wire terminal on both sides has no surviving home at all and
+// is emitted as a finished contig p+v+s.
+func Extract(v *pakgraph.MacroNode, k1 int) (updates []Update, contigs []dna.Seq) {
+	keySeq := v.Key.Seq(k1)
+	for _, w := range v.Wires {
+		if w.Count == 0 {
+			continue
+		}
+		p := v.Prefixes[w.P]
+		s := v.Suffixes[w.S]
+		if p.Terminal && s.Terminal {
+			contigs = append(contigs, p.Seq.Concat(keySeq).Concat(s.Seq))
+			continue
+		}
+		weight := p.Weight
+		if s.Weight < weight {
+			weight = s.Weight
+		}
+		if !p.Terminal {
+			u := dna.NeighborViaPrefix(v.Key, k1, p.Seq)
+			pv := p.Seq.Concat(keySeq)
+			match := pv.Slice(k1, pv.Len()) // == (p+v)[k-1:], length |p|
+			updates = append(updates, Update{
+				Target:      u,
+				SuffixSide:  true,
+				Match:       match,
+				NewSeq:      match.Concat(s.Seq),
+				NewTerminal: s.Terminal,
+				Count:       w.Count,
+				Weight:      weight,
+			})
+		}
+		if !s.Terminal {
+			wk := dna.NeighborViaSuffix(v.Key, k1, s.Seq)
+			vs := keySeq.Concat(s.Seq)
+			match := vs.Slice(0, s.Seq.Len()) // == (v+s)[:|s|]
+			updates = append(updates, Update{
+				Target:      wk,
+				SuffixSide:  false,
+				Match:       match,
+				NewSeq:      p.Seq.Concat(match),
+				NewTerminal: p.Terminal,
+				Count:       w.Count,
+				Weight:      weight,
+			})
+		}
+	}
+	return updates, contigs
+}

@@ -1,0 +1,111 @@
+package compact
+
+import (
+	"nmppak/internal/pakgraph"
+)
+
+// normalize restores node invariants after Apply: dead (count-zero)
+// extensions and wires are removed, duplicate extensions (same sequence and
+// terminal flag) are merged, parallel wires are merged, and — only if the
+// transfer counts disagreed with the consumed extension's count, which
+// cannot happen on structurally consistent graphs — balance and wiring are
+// rebuilt from scratch.
+func normalize(n *pakgraph.MacroNode) {
+	remapP := compactExts(&n.Prefixes)
+	remapS := compactExts(&n.Suffixes)
+
+	wires := n.Wires[:0]
+	for _, w := range n.Wires {
+		if w.Count == 0 {
+			continue
+		}
+		w.P = remapP[w.P]
+		w.S = remapS[w.S]
+		if w.P < 0 || w.S < 0 {
+			// Wire referenced a removed extension: count mismatch path.
+			continue
+		}
+		wires = append(wires, w)
+	}
+	// Merge parallel wires.
+	merged := wires[:0]
+	for _, w := range wires {
+		found := false
+		for i := range merged {
+			if merged[i].P == w.P && merged[i].S == w.S {
+				merged[i].Count += w.Count
+				found = true
+				break
+			}
+		}
+		if !found {
+			merged = append(merged, w)
+		}
+	}
+	n.Wires = merged
+
+	if !consistent(n) {
+		// Count-mismatch fallback (unreachable on structurally consistent
+		// graphs): rebuild the wiring from scratch.
+		n.Rewire()
+	}
+}
+
+// compactExts removes count-zero entries and merges duplicates, returning
+// the old-index -> new-index mapping (-1 for removed entries).
+func compactExts(exts *[]pakgraph.Ext) []int32 {
+	old := *exts
+	remap := make([]int32, len(old))
+	out := old[:0:len(old)]
+	kept := make([]pakgraph.Ext, 0, len(old))
+	for i := range old {
+		e := old[i]
+		if e.Count == 0 {
+			remap[i] = -1
+			continue
+		}
+		dup := -1
+		for j := range kept {
+			if kept[j].Terminal == e.Terminal && kept[j].Seq.Equal(e.Seq) {
+				dup = j
+				break
+			}
+		}
+		if dup >= 0 {
+			kept[dup].Count += e.Count
+			kept[dup].Weight += e.Weight
+			remap[i] = int32(dup)
+			continue
+		}
+		kept = append(kept, e)
+		remap[i] = int32(len(kept) - 1)
+	}
+	out = append(out, kept...)
+	*exts = out
+	return remap
+}
+
+// consistent reports whether every extension's count is exactly covered by
+// its wires and the node is balanced.
+func consistent(n *pakgraph.MacroNode) bool {
+	wiredP := make([]uint64, len(n.Prefixes))
+	wiredS := make([]uint64, len(n.Suffixes))
+	for _, w := range n.Wires {
+		if int(w.P) >= len(n.Prefixes) || int(w.S) >= len(n.Suffixes) {
+			return false
+		}
+		wiredP[w.P] += uint64(w.Count)
+		wiredS[w.S] += uint64(w.Count)
+	}
+	for i, e := range n.Prefixes {
+		if wiredP[i] != uint64(e.Count) {
+			return false
+		}
+	}
+	for i, e := range n.Suffixes {
+		if wiredS[i] != uint64(e.Count) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,155 @@
+package dram
+
+import (
+	"testing"
+
+	"nmppak/internal/sim"
+)
+
+func TestRowHitFasterThanMiss(t *testing.T) {
+	ch := NewChannel(DDR4_3200())
+	cfg := ch.Config()
+	// First access: row miss (ACT + RCD + CL + BL).
+	d1 := ch.AccessRow(0, 0, 0, 5, 1, false)
+	wantMiss := sim.Cycle(cfg.TRCD + cfg.TCL + cfg.TBL)
+	if d1 != wantMiss {
+		t.Fatalf("miss latency %d want %d", d1, wantMiss)
+	}
+	// Same row again: hit, no ACT.
+	d2 := ch.AccessRow(d1, 0, 0, 5, 1, false)
+	if d2-d1 >= d1 {
+		t.Fatalf("row hit latency %d not faster than miss %d", d2-d1, d1)
+	}
+	if ch.Stats.Activates != 1 {
+		t.Fatalf("activates = %d want 1", ch.Stats.Activates)
+	}
+}
+
+func TestRowConflictRequiresPrecharge(t *testing.T) {
+	ch := NewChannel(DDR4_3200())
+	cfg := ch.Config()
+	d1 := ch.AccessRow(0, 0, 0, 5, 1, false)
+	// Different row in the same bank: PRE + ACT. tRAS from the first ACT
+	// dominates the earliest PRE.
+	d2 := ch.AccessRow(d1, 0, 0, 9, 1, false)
+	minGap := sim.Cycle(cfg.TRP + cfg.TRCD + cfg.TCL + cfg.TBL)
+	if d2-d1 < minGap {
+		t.Fatalf("conflict gap %d < %d", d2-d1, minGap)
+	}
+	if ch.Stats.Activates != 2 || ch.Stats.RowMisses != 2 {
+		t.Fatalf("stats %+v", ch.Stats)
+	}
+}
+
+func TestBankParallelismBeatsSameBank(t *testing.T) {
+	// 8 single-burst accesses to different rows: across banks they overlap
+	// (bus-limited), in one bank they serialize on tRC-ish gaps.
+	same := NewChannel(DDR4_3200())
+	var doneSame sim.Cycle
+	for i := 0; i < 8; i++ {
+		doneSame = same.AccessRow(0, 0, 0, i, 1, false)
+	}
+	diff := NewChannel(DDR4_3200())
+	var doneDiff sim.Cycle
+	for i := 0; i < 8; i++ {
+		d := diff.AccessRow(0, 0, i, 0, 1, false)
+		if d > doneDiff {
+			doneDiff = d
+		}
+	}
+	if doneDiff >= doneSame {
+		t.Fatalf("bank parallelism %d not faster than same-bank %d", doneDiff, doneSame)
+	}
+}
+
+func TestStreamingApproachesPeakBandwidth(t *testing.T) {
+	ch := NewChannel(DDR4_3200())
+	// Stream 128 blocks (one full row) repeatedly across banks.
+	var done sim.Cycle
+	for b := 0; b < 16; b++ {
+		done = ch.AccessRow(done, 0, b, 0, 128, false)
+	}
+	util := ch.Stats.Utilization(ch.Config(), done)
+	if util < 0.85 {
+		t.Fatalf("streaming utilization %.2f < 0.85", util)
+	}
+	if util > 1.0001 {
+		t.Fatalf("utilization %v exceeds peak", util)
+	}
+}
+
+func TestUtilizationNeverExceedsPeak(t *testing.T) {
+	ch := NewChannel(DDR4_3200())
+	var done sim.Cycle
+	for i := 0; i < 200; i++ {
+		d := ch.AccessRow(sim.Cycle(i), i%2, i%16, i%7, 1+i%9, i%3 == 0)
+		if d > done {
+			done = d
+		}
+	}
+	if util := ch.Stats.Utilization(ch.Config(), done); util > 1.0001 {
+		t.Fatalf("utilization %v > 1", util)
+	}
+	if ch.Stats.TotalBytes() == 0 {
+		t.Fatal("no traffic recorded")
+	}
+}
+
+func TestWriteReadTurnaround(t *testing.T) {
+	ch := NewChannel(DDR4_3200())
+	cfg := ch.Config()
+	dw := ch.AccessRow(0, 0, 0, 3, 1, true)
+	dr := ch.AccessRow(dw, 0, 0, 3, 1, false)
+	// Read data cannot start before write data end + tWTR + tCL.
+	if dr < dw+sim.Cycle(cfg.TWTR) {
+		t.Fatalf("read completed %d, too soon after write end %d", dr, dw)
+	}
+}
+
+func TestMonotoneNonDecreasingCompletion(t *testing.T) {
+	ch := NewChannel(DDR4_3200())
+	var prev sim.Cycle
+	for i := 0; i < 500; i++ {
+		d := ch.AccessRow(prev, (i/16)%2, i%16, i%3, 1+(i%4), i%5 == 0)
+		if d < prev {
+			t.Fatalf("completion went backwards: %d after %d", d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestRefreshInterference(t *testing.T) {
+	cfg := DDR4_3200()
+	ch := NewChannel(cfg)
+	// Access right at the refresh deadline: should be pushed past tRFC.
+	at := sim.Cycle(cfg.TREFI)
+	d := ch.AccessRow(at, 0, 0, 0, 1, false)
+	if d < at+sim.Cycle(cfg.TRFC) {
+		t.Fatalf("refresh not applied: done %d < %d", d, at+sim.Cycle(cfg.TRFC))
+	}
+}
+
+func TestEarliestRespected(t *testing.T) {
+	ch := NewChannel(DDR4_3200())
+	d := ch.AccessRow(1000, 0, 0, 0, 1, false)
+	if d < 1000 {
+		t.Fatalf("completed %d before earliest 1000", d)
+	}
+	if got := ch.AccessRow(500, 1, 0, 0, 0, false); got != 500 {
+		t.Fatalf("zero blocks must be a no-op returning earliest, got %d", got)
+	}
+}
+
+func TestBlocksFor(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{{0, 0}, {1, 1}, {64, 1}, {65, 2}, {8192, 128}} {
+		if got := BlocksFor(tc.n); got != tc.want {
+			t.Errorf("BlocksFor(%d) = %d want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestPeakBytesPerCycle(t *testing.T) {
+	if got := DDR4_3200().PeakBytesPerCycle(); got != 16 {
+		t.Fatalf("peak = %v want 16 B/cycle (25.6 GB/s at 1.6 GHz)", got)
+	}
+}

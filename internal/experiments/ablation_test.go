@@ -1,0 +1,21 @@
+package experiments
+
+import "testing"
+
+func TestAblation(t *testing.T) {
+	r, err := Ablation(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The per-iteration mapping refresh must clearly beat the static
+	// table (the compaction-skew pathology).
+	if r.Measured["static_mapping_slowdown"] < 1.2 {
+		t.Fatalf("static mapping not slower: %+v", r.Measured)
+	}
+	// The other ablations must not show impossible speedups.
+	for k, v := range r.Measured {
+		if v < 0.95 {
+			t.Fatalf("%s = %.2f: removing a feature should not speed the system up", k, v)
+		}
+	}
+}

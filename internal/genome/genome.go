@@ -1,0 +1,144 @@
+// Package genome synthesizes reference genomes for assembly experiments.
+//
+// The paper evaluates on the full human genome; this repository substitutes
+// synthetic genomes whose assembly-relevant properties are tunable: length,
+// GC content, repeat families (the feature that fragments de Bruijn graph
+// assemblies and produces branching MacroNodes), and multiple replicons
+// (chromosomes / metagenome members).
+package genome
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nmppak/internal/dna"
+)
+
+// Config controls synthesis.
+type Config struct {
+	Length int // total bases per replicon
+	// GC in [0,1] is the probability of drawing G or C (default 0.5).
+	GC float64
+	// RepeatFraction in [0,1) is the fraction of the genome covered by
+	// copies of repeat elements (default 0: repeat-free, which assembles
+	// into a single contig from error-free reads).
+	RepeatFraction float64
+	// RepeatUnit is the repeat element length (default 500).
+	RepeatUnit int
+	// Replicons is the number of independent sequences (default 1).
+	Replicons int
+	// Seed drives the deterministic PRNG.
+	Seed int64
+}
+
+func (c *Config) setDefaults() {
+	if c.GC == 0 {
+		c.GC = 0.5
+	}
+	if c.RepeatUnit == 0 {
+		c.RepeatUnit = 500
+	}
+	if c.Replicons == 0 {
+		c.Replicons = 1
+	}
+}
+
+// Genome is a set of synthesized replicons.
+type Genome struct {
+	Replicons []dna.Seq
+	Names     []string
+}
+
+// TotalLength returns the summed replicon length.
+func (g *Genome) TotalLength() int {
+	n := 0
+	for _, r := range g.Replicons {
+		n += r.Len()
+	}
+	return n
+}
+
+// Generate synthesizes a genome deterministically from cfg.
+func Generate(cfg Config) (*Genome, error) {
+	cfg.setDefaults()
+	if cfg.Length <= 0 {
+		return nil, fmt.Errorf("genome: Length must be positive, got %d", cfg.Length)
+	}
+	if cfg.GC < 0 || cfg.GC > 1 {
+		return nil, fmt.Errorf("genome: GC %v out of [0,1]", cfg.GC)
+	}
+	if cfg.RepeatFraction < 0 || cfg.RepeatFraction >= 1 {
+		return nil, fmt.Errorf("genome: RepeatFraction %v out of [0,1)", cfg.RepeatFraction)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	g := &Genome{}
+	for rep := 0; rep < cfg.Replicons; rep++ {
+		g.Replicons = append(g.Replicons, synthesize(r, cfg))
+		g.Names = append(g.Names, fmt.Sprintf("synthetic_%d_len%d", rep, cfg.Length))
+	}
+	return g, nil
+}
+
+// drawBase samples one base honoring the GC bias.
+func drawBase(r *rand.Rand, gc float64) dna.Base {
+	if r.Float64() < gc {
+		if r.Intn(2) == 0 {
+			return dna.G
+		}
+		return dna.C
+	}
+	if r.Intn(2) == 0 {
+		return dna.A
+	}
+	return dna.T
+}
+
+func synthesize(r *rand.Rand, cfg Config) dna.Seq {
+	bases := make([]dna.Base, 0, cfg.Length)
+	// Pre-draw a small library of repeat units.
+	var units [][]dna.Base
+	if cfg.RepeatFraction > 0 {
+		nUnits := 4
+		for u := 0; u < nUnits; u++ {
+			unit := make([]dna.Base, cfg.RepeatUnit)
+			for i := range unit {
+				unit[i] = drawBase(r, cfg.GC)
+			}
+			units = append(units, unit)
+		}
+	}
+	for len(bases) < cfg.Length {
+		if len(units) > 0 && r.Float64() < cfg.RepeatFraction {
+			unit := units[r.Intn(len(units))]
+			n := len(unit)
+			if rem := cfg.Length - len(bases); n > rem {
+				n = rem
+			}
+			bases = append(bases, unit[:n]...)
+			continue
+		}
+		// Unique stretch: geometric run between repeat insertions.
+		run := cfg.RepeatUnit
+		if rem := cfg.Length - len(bases); run > rem {
+			run = rem
+		}
+		for i := 0; i < run; i++ {
+			bases = append(bases, drawBase(r, cfg.GC))
+		}
+	}
+	return dna.FromBases(bases)
+}
+
+// GC computes the observed G+C fraction of a sequence.
+func GC(q dna.Seq) float64 {
+	if q.Len() == 0 {
+		return 0
+	}
+	gc := 0
+	for i := 0; i < q.Len(); i++ {
+		if b := q.At(i); b == dna.G || b == dna.C {
+			gc++
+		}
+	}
+	return float64(gc) / float64(q.Len())
+}

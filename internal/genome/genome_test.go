@@ -1,0 +1,88 @@
+package genome
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Length: 5000, Seed: 42}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Generate(cfg)
+	if !a.Replicons[0].Equal(b.Replicons[0]) {
+		t.Fatal("same seed must give same genome")
+	}
+	c, _ := Generate(Config{Length: 5000, Seed: 43})
+	if a.Replicons[0].Equal(c.Replicons[0]) {
+		t.Fatal("different seeds gave identical genomes")
+	}
+}
+
+func TestGenerateLengthAndReplicons(t *testing.T) {
+	g, err := Generate(Config{Length: 1234, Replicons: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Replicons) != 3 {
+		t.Fatalf("replicons = %d", len(g.Replicons))
+	}
+	for i, r := range g.Replicons {
+		if r.Len() != 1234 {
+			t.Fatalf("replicon %d length %d", i, r.Len())
+		}
+	}
+	if g.TotalLength() != 3*1234 {
+		t.Fatalf("TotalLength = %d", g.TotalLength())
+	}
+}
+
+func TestGCBias(t *testing.T) {
+	for _, want := range []float64{0.3, 0.5, 0.7} {
+		g, err := Generate(Config{Length: 200000, GC: want, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := GC(g.Replicons[0])
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("GC bias %v: observed %v", want, got)
+		}
+	}
+}
+
+func TestRepeatsCreateDuplicateContent(t *testing.T) {
+	g, err := Generate(Config{Length: 100000, RepeatFraction: 0.4, RepeatUnit: 300, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 40% repeat content from 4 units, distinct 31-mers must be far
+	// fewer than in a repeat-free genome of the same length.
+	distinct := func(gn int64) int {
+		gg, _ := Generate(Config{Length: 100000, RepeatFraction: map[int64]float64{0: 0, 1: 0.4}[gn], RepeatUnit: 300, Seed: 9})
+		seen := make(map[string]struct{})
+		s := gg.Replicons[0].String()
+		for i := 0; i+31 <= len(s); i += 7 {
+			seen[s[i:i+31]] = struct{}{}
+		}
+		return len(seen)
+	}
+	free, rep := distinct(0), distinct(1)
+	if rep >= free {
+		t.Fatalf("repeat genome has %d distinct 31-mers, repeat-free %d", rep, free)
+	}
+	_ = g
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{Length: 0}); err == nil {
+		t.Fatal("expected error for zero length")
+	}
+	if _, err := Generate(Config{Length: 10, GC: 1.5}); err == nil {
+		t.Fatal("expected error for GC out of range")
+	}
+	if _, err := Generate(Config{Length: 10, RepeatFraction: 1.0}); err == nil {
+		t.Fatal("expected error for RepeatFraction = 1")
+	}
+}

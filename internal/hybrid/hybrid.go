@@ -1,0 +1,126 @@
+// Package hybrid analyzes the CPU-NMP work split of §4.3: which MacroNodes
+// exceed the PE-buffer-friendly size threshold, how much work each side
+// carries per iteration, and whether the CPU side hides under the NMP side
+// (the paper measures offloaded >1 KB work at 49.8% of the NMP compute
+// time, i.e. fully overlapped).
+//
+// The timing itself is simulated by internal/nmp (which implements the
+// offload and the per-iteration lockstep); this package provides the
+// analytical model the runtime uses to pick the threshold, and the
+// population statistics for the §4.3 and Fig. 7/8 discussions.
+package hybrid
+
+import (
+	"sort"
+
+	"nmppak/internal/trace"
+)
+
+// SplitStats summarizes the node population split at a size threshold.
+type SplitStats struct {
+	ThresholdBytes int
+	NodesNMP       int64
+	NodesCPU       int64
+	BytesNMP       int64
+	BytesCPU       int64
+	// FracCPU* are population fractions.
+	FracCPUNodes float64
+	FracCPUBytes float64
+}
+
+// Split scans a whole trace and splits node visits at the threshold.
+func Split(tr *trace.Trace, thresholdBytes int) SplitStats {
+	s := SplitStats{ThresholdBytes: thresholdBytes}
+	for i := range tr.Iterations {
+		for j := range tr.Iterations[i].Nodes {
+			n := &tr.Iterations[i].Nodes[j]
+			size := int64(n.D1 + n.D2)
+			if thresholdBytes > 0 && size > int64(thresholdBytes) {
+				s.NodesCPU++
+				s.BytesCPU += size
+			} else {
+				s.NodesNMP++
+				s.BytesNMP += size
+			}
+		}
+	}
+	if t := s.NodesNMP + s.NodesCPU; t > 0 {
+		s.FracCPUNodes = float64(s.NodesCPU) / float64(t)
+	}
+	if t := s.BytesNMP + s.BytesCPU; t > 0 {
+		s.FracCPUBytes = float64(s.BytesCPU) / float64(t)
+	}
+	return s
+}
+
+// SizeQuantiles returns the node-size values at the given quantiles
+// (0..1) over the whole trace, for threshold selection.
+func SizeQuantiles(tr *trace.Trace, qs []float64) []int {
+	var sizes []int
+	for i := range tr.Iterations {
+		for j := range tr.Iterations[i].Nodes {
+			n := &tr.Iterations[i].Nodes[j]
+			sizes = append(sizes, int(n.D1+n.D2))
+		}
+	}
+	sort.Ints(sizes)
+	out := make([]int, len(qs))
+	for i, q := range qs {
+		if len(sizes) == 0 {
+			continue
+		}
+		idx := int(q * float64(len(sizes)-1))
+		out[i] = sizes[idx]
+	}
+	return out
+}
+
+// OverlapModel estimates, per iteration, the CPU-side service demand as a
+// fraction of the NMP-side demand under a simple service-rate model: NMP
+// throughput scales with PEs x channels at near-memory bandwidth, the CPU
+// with its thread count at far-memory latency. It reproduces the §4.3
+// analysis that sizes the threshold so CPU work hides under NMP work.
+type OverlapModel struct {
+	// Service cost in abstract cycles per byte on each side.
+	NMPCyclesPerByte float64
+	CPUCyclesPerByte float64
+	NMPParallelism   float64 // PEs x channels
+	CPUParallelism   float64 // threads
+}
+
+// DefaultOverlapModel mirrors the simulator defaults (16 PEs x 8 channels
+// vs 64 threads; the CPU pays ~4x per byte for far-memory access and
+// software overheads).
+func DefaultOverlapModel() OverlapModel {
+	return OverlapModel{
+		NMPCyclesPerByte: 0.25,
+		CPUCyclesPerByte: 1.0,
+		NMPParallelism:   128,
+		CPUParallelism:   64,
+	}
+}
+
+// CPUOverNMP returns the ratio of CPU time to NMP time for a split; values
+// below 1 mean the CPU work hides completely under the NMP work.
+func (m OverlapModel) CPUOverNMP(s SplitStats) float64 {
+	nmp := float64(s.BytesNMP) * m.NMPCyclesPerByte / m.NMPParallelism
+	cpu := float64(s.BytesCPU) * m.CPUCyclesPerByte / m.CPUParallelism
+	if nmp == 0 {
+		return 0
+	}
+	return cpu / nmp
+}
+
+// PickThreshold returns the smallest of the candidate thresholds whose CPU
+// work still hides under the NMP work (ratio <= maxRatio), or the largest
+// candidate if none qualifies.
+func (m OverlapModel) PickThreshold(tr *trace.Trace, candidates []int, maxRatio float64) int {
+	sorted := append([]int(nil), candidates...)
+	sort.Ints(sorted)
+	for _, c := range sorted {
+		if m.CPUOverNMP(Split(tr, c)) <= maxRatio {
+			return c
+		}
+	}
+	return sorted[len(sorted)-1]
+}

@@ -1,0 +1,203 @@
+package kmer
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"nmppak/internal/dna"
+	"nmppak/internal/genome"
+	"nmppak/internal/readsim"
+)
+
+func simReads(t testing.TB, length int, cov float64, errRate float64, seed int64) []readsim.Read {
+	t.Helper()
+	g, err := genome.Generate(genome.Config{Length: length, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, err := readsim.Simulate(g, readsim.Config{ReadLen: 100, Coverage: cov, ErrorRate: errRate, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reads
+}
+
+// naiveMapCount is the reference implementation: a plain hash map.
+func naiveMapCount(reads []readsim.Read, k int) map[dna.Kmer]uint32 {
+	m := make(map[dna.Kmer]uint32)
+	for _, rd := range reads {
+		s := rd.Seq
+		for i := 0; i+k <= s.Len(); i++ {
+			m[dna.KmerFromSeq(s, i, k)]++
+		}
+	}
+	return m
+}
+
+func TestCountMatchesNaiveMap(t *testing.T) {
+	reads := simReads(t, 4000, 8, 0.01, 5)
+	cfg := Config{K: 31, Workers: 4}
+	res, err := Count(reads, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naiveMapCount(reads, 31)
+	if len(res.Kmers) != len(want) {
+		t.Fatalf("distinct kmers %d want %d", len(res.Kmers), len(want))
+	}
+	for _, kc := range res.Kmers {
+		if want[kc.Km] != kc.Count {
+			t.Fatalf("kmer %s count %d want %d", kc.Km.StringK(31), kc.Count, want[kc.Km])
+		}
+	}
+	// Sorted ascending.
+	for i := 1; i < len(res.Kmers); i++ {
+		if res.Kmers[i-1].Km >= res.Kmers[i].Km {
+			t.Fatal("result not sorted strictly ascending")
+		}
+	}
+}
+
+func TestCountMatchesCountNaive(t *testing.T) {
+	reads := simReads(t, 3000, 6, 0.005, 6)
+	for _, minCount := range []uint32{0, 1, 2, 3} {
+		cfg := Config{K: 32, Workers: 3, MinCount: minCount}
+		a, err := Count(reads, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := CountNaive(reads, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Kmers) != len(b.Kmers) {
+			t.Fatalf("minCount=%d: distinct %d vs %d", minCount, len(a.Kmers), len(b.Kmers))
+		}
+		for i := range a.Kmers {
+			if a.Kmers[i] != b.Kmers[i] {
+				t.Fatalf("minCount=%d: entry %d differs", minCount, i)
+			}
+		}
+		if a.TotalExtracted != b.TotalExtracted || a.PrunedKinds != b.PrunedKinds || a.PrunedMass != b.PrunedMass {
+			t.Fatalf("stats differ: %+v vs %+v", a, b)
+		}
+	}
+}
+
+func TestTotalExtracted(t *testing.T) {
+	reads := simReads(t, 2000, 4, 0, 7)
+	res, err := Count(reads, Config{K: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(len(reads) * (100 - 32 + 1))
+	if res.TotalExtracted != want {
+		t.Fatalf("TotalExtracted = %d want %d", res.TotalExtracted, want)
+	}
+	var mass int64
+	for _, kc := range res.Kmers {
+		mass += int64(kc.Count)
+	}
+	if mass+res.PrunedMass != want {
+		t.Fatalf("mass conservation: %d + %d != %d", mass, res.PrunedMass, want)
+	}
+}
+
+func TestTerminalCounts(t *testing.T) {
+	reads := simReads(t, 2000, 5, 0, 8)
+	res, err := Count(reads, Config{K: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tp, ts uint32
+	for _, c := range res.TermPrefix {
+		tp += c
+	}
+	for _, c := range res.TermSuffix {
+		ts += c
+	}
+	if int(tp) != len(reads) || int(ts) != len(reads) {
+		t.Fatalf("terminal totals tp=%d ts=%d want %d", tp, ts, len(reads))
+	}
+	// Spot-check: the first read's first 31-mer must appear in TermPrefix.
+	first := dna.KmerFromSeq(reads[0].Seq, 0, 31)
+	if res.TermPrefix[first] == 0 {
+		t.Fatal("first read's leading 31-mer missing from TermPrefix")
+	}
+}
+
+func TestPruningDropsErrorKmers(t *testing.T) {
+	reads := simReads(t, 20000, 30, 0.01, 9)
+	unpruned, err := Count(reads, Config{K: 32, MinCount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := Count(reads, Config{K: 32, MinCount: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.PrunedKinds == 0 {
+		t.Fatal("expected some pruning with 1% errors")
+	}
+	if len(pruned.Kmers) >= len(unpruned.Kmers) {
+		t.Fatal("pruning did not reduce distinct kmers")
+	}
+	// At 30x coverage, genuine k-mers survive: distinct count after pruning
+	// should be near the genome's distinct 32-mers (~20000).
+	if len(pruned.Kmers) < 15000 || len(pruned.Kmers) > 25000 {
+		t.Fatalf("pruned distinct = %d, expected near 20000", len(pruned.Kmers))
+	}
+}
+
+func TestCountValidation(t *testing.T) {
+	if _, err := Count(nil, Config{K: 1}); err == nil {
+		t.Fatal("expected error for K=1")
+	}
+	if _, err := Count(nil, Config{K: 33}); err == nil {
+		t.Fatal("expected error for K=33")
+	}
+	res, err := Count(nil, Config{K: 32})
+	if err != nil || len(res.Kmers) != 0 {
+		t.Fatalf("empty input: %v %v", res, err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	kmers := []Counted{{1, 1}, {2, 1}, {3, 2}, {4, 9}}
+	h := Histogram(kmers, 4)
+	if h[1] != 2 || h[2] != 1 || h[4] != 1 {
+		t.Fatalf("histogram %v", h)
+	}
+}
+
+func TestParallelSortUint64(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	for _, n := range []int{0, 1, 100, 4095, 4096, 100000} {
+		for _, w := range []int{1, 2, 7, 16} {
+			v := make([]uint64, n)
+			for i := range v {
+				v[i] = r.Uint64() % 1000
+			}
+			want := append([]uint64(nil), v...)
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			ParallelSortUint64(v, w)
+			for i := range v {
+				if v[i] != want[i] {
+					t.Fatalf("n=%d w=%d: mismatch at %d", n, w, i)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelSortProperty(t *testing.T) {
+	f := func(v []uint64) bool {
+		ParallelSortUint64(v, 8)
+		return sort.SliceIsSorted(v, func(i, j int) bool { return v[i] < v[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+package kmer
+
+import (
+	"sort"
+	"sync"
+)
+
+// ParallelSortUint64 sorts v ascending using a chunked parallel sort
+// followed by pairwise parallel merges — the stdlib-only substitute for the
+// __gnu_parallel::sort the paper's optimized k-mer counting uses (§4.5 c).
+func ParallelSortUint64(v []uint64, workers int) {
+	if workers <= 1 || len(v) < 4096 {
+		sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+		return
+	}
+	// Round chunk count down to a power of two so merges pair cleanly.
+	chunks := 1
+	for chunks*2 <= workers {
+		chunks *= 2
+	}
+	bounds := make([]int, chunks+1)
+	for i := 0; i <= chunks; i++ {
+		bounds[i] = len(v) * i / chunks
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < chunks; i++ {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			s := v[lo:hi]
+			sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+		}(bounds[i], bounds[i+1])
+	}
+	wg.Wait()
+
+	// log2(chunks) rounds of pairwise merges, each round in parallel.
+	buf := make([]uint64, len(v))
+	src, dst := v, buf
+	for width := 1; width < chunks; width *= 2 {
+		var mwg sync.WaitGroup
+		for i := 0; i+width <= chunks; i += 2 * width {
+			lo, mid := bounds[i], bounds[i+width]
+			hi := len(v)
+			if i+2*width <= chunks {
+				hi = bounds[i+2*width]
+			}
+			mwg.Add(1)
+			go func(lo, mid, hi int) {
+				defer mwg.Done()
+				mergeUint64(dst[lo:hi], src[lo:mid], src[mid:hi])
+			}(lo, mid, hi)
+		}
+		mwg.Wait()
+		src, dst = dst, src
+	}
+	if &src[0] != &v[0] {
+		copy(v, src)
+	}
+}
+
+// mergeUint64 merges two sorted runs a and b into out (len(out) must equal
+// len(a)+len(b)).
+func mergeUint64(out, a, b []uint64) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out[k] = a[i]
+			i++
+		} else {
+			out[k] = b[j]
+			j++
+		}
+		k++
+	}
+	copy(out[k:], a[i:])
+	copy(out[k+len(a)-i:], b[j:])
+}

@@ -1,0 +1,399 @@
+// Package pakgraph implements PaKman's MacroNode data structure and the
+// PaK-graph (Figs. 2C and 3 of the paper).
+//
+// A MacroNode groups all k-mers sharing a (k-1)-mer: the (k-1)-mer is the
+// node key; each k-mer contributes a one-base prefix or suffix extension.
+// Extensions grow to multi-base strings as Iterative Compaction merges
+// neighboring nodes. Terminal extensions mark positions where reads (and
+// hence contigs) begin or end; their sequences carry any bases accumulated
+// from compacted-away boundary nodes.
+//
+// Wires record the internal prefix<->suffix pairing of a node (PaKman's
+// wiring information): a wire (p, s, count) says that `count` read
+// traversals entered the node through prefix extension p and left through
+// suffix extension s. Contig generation walks wires; compaction transfers
+// them.
+package pakgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"nmppak/internal/dna"
+	"nmppak/internal/kmer"
+)
+
+// Ext is one prefix or suffix extension of a MacroNode.
+//
+// Count is the structural multiplicity: the number of wires routed through
+// this extension (1 except at forks/merges created during compaction
+// splits). Weight is the sequencing-coverage mass (k-mer occurrence count)
+// and is used only to order the prefix<->suffix pairing so that high-
+// coverage paths pair with each other; it plays no role in the graph's
+// structural invariants.
+type Ext struct {
+	Seq      dna.Seq
+	Count    uint32
+	Weight   uint32
+	Terminal bool // read/contig boundary marker; Seq may still carry bases
+}
+
+// Wire pairs prefix extension P with suffix extension S for Count
+// traversals.
+type Wire struct {
+	P, S  int32
+	Count uint32
+}
+
+// MacroNode is one node of the PaK-graph. See the package comment.
+type MacroNode struct {
+	Key      dna.Kmer // the (k-1)-mer
+	Prefixes []Ext
+	Suffixes []Ext
+	Wires    []Wire
+}
+
+// Graph is the PaK-graph: a keyed set of MacroNodes for a fixed k.
+type Graph struct {
+	K     int // k-mer length; keys are (K-1)-mers
+	Nodes map[dna.Kmer]*MacroNode
+}
+
+// K1 returns the node key length (k-1).
+func (g *Graph) K1() int { return g.K - 1 }
+
+// Len returns the number of MacroNodes.
+func (g *Graph) Len() int { return len(g.Nodes) }
+
+// Build constructs the PaK-graph from counted k-mers (Fig. 3): each k-mer
+// adds a suffix extension to the node of its leading (k-1)-mer and a prefix
+// extension to the node of its trailing (k-1)-mer, weighted by the k-mer's
+// occurrence count. Rewire then pairs each node's prefixes with its
+// suffixes; extensions left unpaired (graph tips from genome/batch ends or
+// pruned error k-mers, and the extra arms of forks and merges) receive
+// terminal pads, which is where contigs will begin and end.
+func Build(res *kmer.Result) (*Graph, error) {
+	if res.K < 2 {
+		return nil, fmt.Errorf("pakgraph: invalid k=%d", res.K)
+	}
+	g := &Graph{K: res.K, Nodes: make(map[dna.Kmer]*MacroNode, len(res.Kmers))}
+	node := func(key dna.Kmer) *MacroNode {
+		n := g.Nodes[key]
+		if n == nil {
+			n = &MacroNode{Key: key}
+			g.Nodes[key] = n
+		}
+		return n
+	}
+	for _, kc := range res.Kmers {
+		l, r := kc.Km.Prefix(), kc.Km.Suffix(res.K)
+		first, last := kc.Km.First(res.K), kc.Km.Last()
+		addExt(&node(l).Suffixes, extKey1(last), kc.Count, false)
+		addExt(&node(r).Prefixes, extKey1(first), kc.Count, false)
+	}
+	for _, n := range g.Nodes {
+		n.Rewire()
+	}
+	return g, nil
+}
+
+var base1 [4]dna.Seq
+
+func init() {
+	for b := 0; b < 4; b++ {
+		base1[b] = dna.FromBases([]dna.Base{dna.Base(b)})
+	}
+}
+
+func extKey1(b dna.Base) dna.Seq { return base1[b&3] }
+
+// addExt merges (seq, weight, terminal) into the extension list, combining
+// entries with identical sequence and terminal flag. Structural counts are
+// assigned later by Rewire.
+func addExt(exts *[]Ext, seq dna.Seq, weight uint32, terminal bool) {
+	for i := range *exts {
+		e := &(*exts)[i]
+		if e.Terminal == terminal && e.Seq.Equal(seq) {
+			e.Weight += weight
+			return
+		}
+	}
+	*exts = append(*exts, Ext{Seq: seq, Weight: weight, Terminal: terminal})
+}
+
+// AddExt exposes addExt for graph merging.
+func AddExt(exts *[]Ext, seq dna.Seq, weight uint32, terminal bool) {
+	addExt(exts, seq, weight, terminal)
+}
+
+// Rewire recomputes the node's wires from scratch: prefixes and suffixes
+// are sorted by coverage weight (descending) and paired one-to-one, so the
+// dominant incoming path continues into the dominant outgoing path, as in
+// PaKman's count-proportional wiring. Extensions left over on the longer
+// side are wired to freshly added terminal pads — those are the unitig
+// break points at forks, merges and tips. Extension counts are then set to
+// their wire degree, the structural invariant Validate checks.
+func (n *MacroNode) Rewire() {
+	n.Wires = n.Wires[:0]
+	pi := sortedByWeight(n.Prefixes)
+	si := sortedByWeight(n.Suffixes)
+	m := len(pi)
+	if len(si) < m {
+		m = len(si)
+	}
+	for i := 0; i < m; i++ {
+		n.Wires = append(n.Wires, Wire{P: int32(pi[i]), S: int32(si[i]), Count: 1})
+	}
+	for _, p := range pi[m:] { // unpaired prefixes: contig ends here
+		n.Suffixes = append(n.Suffixes, Ext{Weight: n.Prefixes[p].Weight, Terminal: true})
+		n.Wires = append(n.Wires, Wire{P: int32(p), S: int32(len(n.Suffixes) - 1), Count: 1})
+	}
+	for _, s := range si[m:] { // unpaired suffixes: contig starts here
+		n.Prefixes = append(n.Prefixes, Ext{Weight: n.Suffixes[s].Weight, Terminal: true})
+		n.Wires = append(n.Wires, Wire{P: int32(len(n.Prefixes) - 1), S: int32(s), Count: 1})
+	}
+	// Counts = wire degree.
+	for i := range n.Prefixes {
+		n.Prefixes[i].Count = 0
+	}
+	for i := range n.Suffixes {
+		n.Suffixes[i].Count = 0
+	}
+	for _, w := range n.Wires {
+		n.Prefixes[w.P].Count += w.Count
+		n.Suffixes[w.S].Count += w.Count
+	}
+}
+
+func sortedByWeight(exts []Ext) []int {
+	idx := make([]int, len(exts))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ea, eb := exts[idx[a]], exts[idx[b]]
+		// Real extensions outrank terminal pads at equal weight, so pads
+		// pair with pads only as a last resort.
+		if ea.Terminal != eb.Terminal {
+			return eb.Terminal
+		}
+		if ea.Weight != eb.Weight {
+			return ea.Weight > eb.Weight
+		}
+		return idx[a] < idx[b]
+	})
+	return idx
+}
+
+// NeighborKeys returns the distinct keys of all nodes adjacent to n
+// (reachable through any non-terminal extension), and whether any extension
+// is a self-loop.
+func (n *MacroNode) NeighborKeys(k1 int) (keys []dna.Kmer, selfLoop bool) {
+	seen := make(map[dna.Kmer]struct{}, len(n.Prefixes)+len(n.Suffixes))
+	add := func(k dna.Kmer) {
+		if k == n.Key {
+			selfLoop = true
+			return
+		}
+		if _, ok := seen[k]; !ok {
+			seen[k] = struct{}{}
+			keys = append(keys, k)
+		}
+	}
+	for _, e := range n.Prefixes {
+		if !e.Terminal {
+			add(dna.NeighborViaPrefix(n.Key, k1, e.Seq))
+		}
+	}
+	for _, e := range n.Suffixes {
+		if !e.Terminal {
+			add(dna.NeighborViaSuffix(n.Key, k1, e.Seq))
+		}
+	}
+	return keys, selfLoop
+}
+
+// IsInvalidationTarget implements the paper's Fig. 4(b) check: the node is
+// removable when it has at least one real neighbor, no self-loop, and its
+// key is strictly the lexicographically largest among all neighbor keys.
+func (n *MacroNode) IsInvalidationTarget(k1 int) bool {
+	keys, selfLoop := n.NeighborKeys(k1)
+	if selfLoop || len(keys) == 0 {
+		return false
+	}
+	for _, k := range keys {
+		if k >= n.Key {
+			return false
+		}
+	}
+	return true
+}
+
+// Data1Bytes models the size of the fields Stage P1/P2 load ("MN data1" in
+// Fig. 10): the (k-1)-mer plus the packed prefix and suffix extension
+// sequences and counts.
+func (n *MacroNode) Data1Bytes() int {
+	b := 8
+	for _, e := range n.Prefixes {
+		b += e.Seq.PackedBytes() + 7 // count(4) + len(2) + flags(1)
+	}
+	for _, e := range n.Suffixes {
+		b += e.Seq.PackedBytes() + 7
+	}
+	return b
+}
+
+// Data2Bytes models the internal wiring information ("MN data2" in Fig.
+// 10).
+func (n *MacroNode) Data2Bytes() int { return 8 + 8*len(n.Wires) }
+
+// SizeBytes is the full serialized MacroNode size used for the Fig. 7/8
+// size distributions and the hybrid CPU-offload threshold.
+func (n *MacroNode) SizeBytes() int { return n.Data1Bytes() + n.Data2Bytes() }
+
+// TotalPrefixCount sums prefix extension counts (== suffix total when
+// balanced).
+func (n *MacroNode) TotalPrefixCount() uint64 {
+	var t uint64
+	for _, e := range n.Prefixes {
+		t += uint64(e.Count)
+	}
+	return t
+}
+
+// TotalSuffixCount sums suffix extension counts.
+func (n *MacroNode) TotalSuffixCount() uint64 {
+	var t uint64
+	for _, e := range n.Suffixes {
+		t += uint64(e.Count)
+	}
+	return t
+}
+
+// TerminalCount returns the summed counts of terminal prefix and suffix
+// extensions; its graph-wide total is invariant under compaction.
+func (n *MacroNode) TerminalCount() (prefix, suffix uint64) {
+	for _, e := range n.Prefixes {
+		if e.Terminal {
+			prefix += uint64(e.Count)
+		}
+	}
+	for _, e := range n.Suffixes {
+		if e.Terminal {
+			suffix += uint64(e.Count)
+		}
+	}
+	return prefix, suffix
+}
+
+// SortedKeys returns all node keys in ascending order — the layout order
+// the paper's static DIMM mapping table assumes ("MacroNodes are stored in
+// ascending (k-1)-mer order across DIMMs").
+func (g *Graph) SortedKeys() []dna.Kmer {
+	keys := make([]dna.Kmer, 0, len(g.Nodes))
+	for k := range g.Nodes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Validate checks structural invariants: balance, wire index bounds, wire
+// count conservation, and that every non-terminal extension points at an
+// existing node. Used heavily by tests.
+func (g *Graph) Validate() error {
+	k1 := g.K1()
+	for key, n := range g.Nodes {
+		if n.Key != key {
+			return fmt.Errorf("node keyed %s stores key %s", key.StringK(k1), n.Key.StringK(k1))
+		}
+		if tp, ts := n.TotalPrefixCount(), n.TotalSuffixCount(); tp != ts {
+			return fmt.Errorf("node %s unbalanced: prefixes %d suffixes %d", key.StringK(k1), tp, ts)
+		}
+		wiredP := make([]uint64, len(n.Prefixes))
+		wiredS := make([]uint64, len(n.Suffixes))
+		for _, w := range n.Wires {
+			if int(w.P) >= len(n.Prefixes) || int(w.S) >= len(n.Suffixes) || w.P < 0 || w.S < 0 {
+				return fmt.Errorf("node %s wire (%d,%d) out of range", key.StringK(k1), w.P, w.S)
+			}
+			wiredP[w.P] += uint64(w.Count)
+			wiredS[w.S] += uint64(w.Count)
+		}
+		for i, e := range n.Prefixes {
+			if wiredP[i] != uint64(e.Count) {
+				return fmt.Errorf("node %s prefix %d wired %d of %d", key.StringK(k1), i, wiredP[i], e.Count)
+			}
+			if !e.Terminal {
+				nb := dna.NeighborViaPrefix(n.Key, k1, e.Seq)
+				if g.Nodes[nb] == nil {
+					return fmt.Errorf("node %s prefix %q dangles (neighbor %s missing)", key.StringK(k1), e.Seq.String(), nb.StringK(k1))
+				}
+			}
+		}
+		for i, e := range n.Suffixes {
+			if wiredS[i] != uint64(e.Count) {
+				return fmt.Errorf("node %s suffix %d wired %d of %d", key.StringK(k1), i, wiredS[i], e.Count)
+			}
+			if !e.Terminal {
+				nb := dna.NeighborViaSuffix(n.Key, k1, e.Seq)
+				if g.Nodes[nb] == nil {
+					return fmt.Errorf("node %s suffix %q dangles (neighbor %s missing)", key.StringK(k1), e.Seq.String(), nb.StringK(k1))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// TotalTerminals sums terminal counts graph-wide; compaction must conserve
+// this quantity.
+func (g *Graph) TotalTerminals() (prefix, suffix uint64) {
+	for _, n := range g.Nodes {
+		p, s := n.TerminalCount()
+		prefix += p
+		suffix += s
+	}
+	return prefix, suffix
+}
+
+// SizeHistogram buckets node sizes by power of two between 2^minPow and
+// 2^maxPow (Fig. 7's x-axis); bucket i counts nodes in [2^(minPow+i),
+// 2^(minPow+i+1)), with underflow in bucket 0 and overflow in the last.
+func (g *Graph) SizeHistogram(minPow, maxPow int) []int {
+	h := make([]int, maxPow-minPow+1)
+	for _, n := range g.Nodes {
+		sz := n.SizeBytes()
+		b := 0
+		for p := minPow; p < maxPow; p++ {
+			if sz >= 1<<(p+1) {
+				b++
+			}
+		}
+		h[b]++
+	}
+	return h
+}
+
+// Merge folds other into g (used to combine per-batch compacted graphs,
+// §4.4): nodes with the same key have their extensions merged and wires
+// recomputed; balancing is preserved because both inputs are balanced.
+func (g *Graph) Merge(other *Graph) error {
+	if g.K != other.K {
+		return fmt.Errorf("pakgraph: merging graphs with k=%d and k=%d", g.K, other.K)
+	}
+	for key, on := range other.Nodes {
+		n := g.Nodes[key]
+		if n == nil {
+			g.Nodes[key] = on
+			continue
+		}
+		for _, e := range on.Prefixes {
+			addExt(&n.Prefixes, e.Seq, e.Count, e.Terminal)
+		}
+		for _, e := range on.Suffixes {
+			addExt(&n.Suffixes, e.Seq, e.Count, e.Terminal)
+		}
+		n.Rewire()
+	}
+	return nil
+}

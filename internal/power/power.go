@@ -1,0 +1,127 @@
+// Package power reproduces the paper's area and power analysis (Table 3,
+// §6.5) from per-component post-synthesis constants at a commercial 28 nm
+// node, and the GPU comparison of §6.6.
+package power
+
+import "fmt"
+
+// Component is one PE building block with its silicon costs.
+type Component struct {
+	Name     string
+	Quantity int
+	AreaMM2  float64 // per instance
+	PowerMW  float64 // per instance
+}
+
+// PEDesign describes one processing element. Constants follow Table 3: a
+// PE comprises two 4 KB MacroNode buffers, two 1 KB TransferNode
+// scratchpads, three ALUs (one per pipeline stage), and its slice of the
+// crossbar switch.
+func PEDesign() []Component {
+	return []Component{
+		{Name: "MacroNode Buffer (4 KB)", Quantity: 2, AreaMM2: 0.038 / 2, PowerMW: 9.2 / 2},
+		{Name: "TransferNode Scratchpad (1 KB)", Quantity: 2, AreaMM2: 0.009 / 2, PowerMW: 2.3 / 2},
+		{Name: "ALU", Quantity: 3, AreaMM2: 0.037 / 3, PowerMW: 18.5 / 3},
+		{Name: "Crossbar Switch", Quantity: 1, AreaMM2: 0.025, PowerMW: 0.3},
+	}
+}
+
+// Totals aggregates a component list.
+func Totals(components []Component) (areaMM2, powerMW float64) {
+	for _, c := range components {
+		areaMM2 += c.AreaMM2 * float64(c.Quantity)
+		powerMW += c.PowerMW * float64(c.Quantity)
+	}
+	return areaMM2, powerMW
+}
+
+// System summarizes an n-PE deployment against the host DIMM budget.
+type System struct {
+	PEs            int
+	PEAreaMM2      float64
+	PEPowerMW      float64
+	TotalAreaMM2   float64
+	TotalPowerMW   float64
+	BufferChipMM2  float64 // typical buffer chip area (§6.5: 100 mm²)
+	DIMMPowerW     float64 // single DIMM power budget (§6.5: 13 W)
+	AreaOverhead   float64 // fraction of buffer chip
+	PowerOverhead  float64 // fraction of DIMM power
+}
+
+// Analyze computes the Table 3 bottom line for n PEs per buffer chip.
+func Analyze(n int) System {
+	area, pw := Totals(PEDesign())
+	s := System{
+		PEs:           n,
+		PEAreaMM2:     area,
+		PEPowerMW:     pw,
+		TotalAreaMM2:  area * float64(n),
+		TotalPowerMW:  pw * float64(n),
+		BufferChipMM2: 100,
+		DIMMPowerW:    13,
+	}
+	s.AreaOverhead = s.TotalAreaMM2 / s.BufferChipMM2
+	s.PowerOverhead = s.TotalPowerMW / 1000 / s.DIMMPowerW
+	return s
+}
+
+// GPUComparison reproduces the §6.6 resource arithmetic: serving a given
+// working set with A100 80 GB GPUs versus NMP-PaK DIMMs.
+type GPUComparison struct {
+	WorkingSetGB    float64
+	GPUsNeeded      int
+	GPUPowerW       float64
+	GPUAreaMM2      float64
+	NMPPowerW       float64
+	NMPAreaMM2      float64
+	PowerRatio      float64
+	AreaRatio       float64
+}
+
+// CompareGPU computes the comparison for a working set in GB. Constants
+// follow §6.6: an A100 80 GB draws 300 W over 826 mm²; the NMP-PaK
+// 8-DIMM/512 GB configuration draws 3.9 W of PE power over 14.1 mm².
+func CompareGPU(workingSetGB float64) GPUComparison {
+	gpus := int((workingSetGB + 79.999) / 80)
+	if gpus < 1 {
+		gpus = 1
+	}
+	nmpPEs := 8 * 16
+	_, pePowerMW := Totals(PEDesign())
+	peArea, _ := Totals(PEDesign())
+	c := GPUComparison{
+		WorkingSetGB: workingSetGB,
+		GPUsNeeded:   gpus,
+		GPUPowerW:    float64(gpus) * 300,
+		GPUAreaMM2:   float64(gpus) * 826,
+		NMPPowerW:    float64(nmpPEs) * pePowerMW / 1000,
+		NMPAreaMM2:   float64(nmpPEs) * peArea,
+	}
+	c.PowerRatio = c.GPUPowerW / c.NMPPowerW
+	c.AreaRatio = c.GPUAreaMM2 / c.NMPAreaMM2
+	return c
+}
+
+// TableRow is one formatted Table 3 line.
+type TableRow struct {
+	Name    string
+	AreaMM2 float64
+	PowerMW float64
+}
+
+// Table3 renders the paper's Table 3 rows: per-component totals, one PE,
+// and 16 PEs.
+func Table3() []TableRow {
+	var rows []TableRow
+	for _, c := range PEDesign() {
+		rows = append(rows, TableRow{
+			Name:    fmt.Sprintf("%s x%d", c.Name, c.Quantity),
+			AreaMM2: c.AreaMM2 * float64(c.Quantity),
+			PowerMW: c.PowerMW * float64(c.Quantity),
+		})
+	}
+	pe, pw := Totals(PEDesign())
+	rows = append(rows, TableRow{Name: "PE", AreaMM2: pe, PowerMW: pw})
+	rows = append(rows, TableRow{Name: "16 PEs", AreaMM2: pe * 16, PowerMW: pw * 16})
+	return rows
+}

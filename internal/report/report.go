@@ -1,0 +1,104 @@
+// Package report renders experiment results as aligned text tables and
+// simple ASCII bar charts, the output format of cmd/experiments and
+// EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells (formatted with %v).
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title + "\n")
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(pad(c, widths[i]))
+		}
+		sb.WriteString("\n")
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Bar renders a labeled horizontal ASCII bar chart scaled to maxWidth
+// columns.
+func Bar(title string, labels []string, values []float64, maxWidth int) string {
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title + "\n")
+	}
+	lw, max := 0, 0.0
+	for i, l := range labels {
+		if len(l) > lw {
+			lw = len(l)
+		}
+		if values[i] > max {
+			max = values[i]
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	for i, l := range labels {
+		n := int(values[i] / max * float64(maxWidth))
+		sb.WriteString(fmt.Sprintf("%s  %s %.3g\n", pad(l, lw), strings.Repeat("#", n), values[i]))
+	}
+	return sb.String()
+}
+
+// Percent formats a fraction as a percentage.
+func Percent(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }

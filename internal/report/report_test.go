@@ -1,0 +1,53 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tab := &Table{Title: "demo", Headers: []string{"name", "value"}}
+	tab.AddRow("a", 1)
+	tab.AddRow("longer-name", 123.456)
+	s := tab.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("lines = %d:\n%s", len(lines), s)
+	}
+	if !strings.HasPrefix(lines[0], "demo") {
+		t.Fatalf("missing title: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Fatalf("header: %q", lines[1])
+	}
+	if !strings.Contains(s, "123") {
+		t.Fatalf("missing float cell: %s", s)
+	}
+}
+
+func TestBarScaling(t *testing.T) {
+	s := Bar("chart", []string{"a", "bb"}, []float64{1, 2}, 10)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines: %v", lines)
+	}
+	if strings.Count(lines[2], "#") != 10 {
+		t.Fatalf("max bar must fill width: %q", lines[2])
+	}
+	if strings.Count(lines[1], "#") != 5 {
+		t.Fatalf("half bar: %q", lines[1])
+	}
+}
+
+func TestBarZeroValues(t *testing.T) {
+	s := Bar("", []string{"x"}, []float64{0}, 10)
+	if strings.Contains(s, "#") {
+		t.Fatalf("zero bar rendered marks: %q", s)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.125); got != "12.5%" {
+		t.Fatalf("Percent = %q", got)
+	}
+}

@@ -1,0 +1,80 @@
+// Package sim provides a minimal deterministic discrete-event simulation
+// kernel shared by the DRAM, NMP and CPU timing models.
+//
+// Time is counted in memory-controller clock cycles. For the paper's
+// configuration this is convenient: DDR4-3200 runs its command clock at
+// 1600 MHz and the NMP processing elements run at 1.6 GHz (Table 2), so one
+// simulator cycle is one PE cycle and one DRAM command slot (0.625 ns).
+package sim
+
+import "container/heap"
+
+// Cycle is a point in simulated time (1 cycle = 0.625 ns at 1.6 GHz).
+type Cycle = int64
+
+// CyclesPerSecond for the 1.6 GHz domain.
+const CyclesPerSecond = 1_600_000_000
+
+// Seconds converts a cycle count to seconds.
+func Seconds(c Cycle) float64 { return float64(c) / CyclesPerSecond }
+
+type event struct {
+	at  Cycle
+	seq int64 // FIFO tie-break for determinism
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded event scheduler. The zero value is ready to
+// use.
+type Engine struct {
+	now    Cycle
+	seq    int64
+	events eventHeap
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Cycle { return e.now }
+
+// At schedules fn at absolute time t (clamped to now).
+func (e *Engine) At(t Cycle, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn d cycles from now.
+func (e *Engine) After(d Cycle, fn func()) { e.At(e.now+d, fn) }
+
+// Run processes events until none remain, returning the final time.
+func (e *Engine) Run() Cycle {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		ev.fn()
+	}
+	return e.now
+}
+
+// Pending reports the number of unprocessed events.
+func (e *Engine) Pending() int { return len(e.events) }

@@ -1,0 +1,66 @@
+package sim
+
+import "testing"
+
+func TestEventOrdering(t *testing.T) {
+	var e Engine
+	var order []int
+	e.At(10, func() { order = append(order, 1) })
+	e.At(5, func() { order = append(order, 0) })
+	e.At(10, func() { order = append(order, 2) }) // FIFO at equal time
+	end := e.Run()
+	if end != 10 {
+		t.Fatalf("end = %d", end)
+	}
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	var e Engine
+	var hits []Cycle
+	e.At(1, func() {
+		hits = append(hits, e.Now())
+		e.After(4, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != 1 || hits[1] != 5 {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestPastSchedulingClamps(t *testing.T) {
+	var e Engine
+	ran := false
+	e.At(100, func() {
+		e.At(50, func() { // in the past: clamp to now
+			if e.Now() != 100 {
+				t.Errorf("clamped event at %d", e.Now())
+			}
+			ran = true
+		})
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("clamped event never ran")
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	if Seconds(CyclesPerSecond) != 1.0 {
+		t.Fatal("1.6e9 cycles must be 1 second")
+	}
+}
+
+func TestPending(t *testing.T) {
+	var e Engine
+	e.At(1, func() {})
+	if e.Pending() != 1 {
+		t.Fatal("pending != 1")
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatal("pending after run")
+	}
+}

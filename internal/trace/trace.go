@@ -1,0 +1,232 @@
+// Package trace captures the memory-access behaviour of an Iterative
+// Compaction run so the hardware models can replay it, mirroring the
+// paper's methodology (§5.2): "We generate memory traces of read and write
+// operations from the actual assembly execution to feed them into
+// Ramulator... we use 'mn_idx' metadata to control their operation timing
+// and track their status."
+//
+// A Trace records, per iteration, every live MacroNode visit (sizes,
+// extension/wire counts, invalidation decision), every TransferNode routed
+// (source, destination, payload size), and every destination update (bytes
+// read and written). Node identity is positional (mn_idx within the
+// iteration's ascending-key order) plus the node key, from which the
+// simulators derive DIMM placement via the paper's static ascending-range
+// mapping table.
+package trace
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"nmppak/internal/compact"
+	"nmppak/internal/dna"
+)
+
+// NodeOp is one P1 visit of a live MacroNode.
+type NodeOp struct {
+	Key         dna.Kmer
+	D1, D2      int32 // MN data1 / data2 bytes (Fig. 10)
+	Exts, Wires int32
+	Invalidated bool
+}
+
+// TransferOp is one TransferNode routed from a source (invalidated) node to
+// a destination node, identified by mn_idx within the same iteration.
+type TransferOp struct {
+	SrcIdx, DstIdx int32
+	TNBytes        int32
+	SuffixSide     bool
+}
+
+// UpdateOp is one P3 destination update.
+type UpdateOp struct {
+	DstIdx                int32
+	ReadBytes, WriteBytes int32
+}
+
+// Iteration is the full event record of one compaction iteration.
+type Iteration struct {
+	Nodes     []NodeOp
+	Transfers []TransferOp
+	Updates   []UpdateOp
+	Stats     compact.IterStats
+	// Quantiles is this iteration's key-space partition table (257
+	// edges). Because compaction preferentially removes lexicographically
+	// large keys, a static iteration-0 table would drain the high-key
+	// DIMMs and pile survivors into DIMM 0; the runtime refreshes the
+	// range table at each iteration's reallocation, which this field
+	// records.
+	Quantiles []dna.Kmer
+}
+
+// Trace is a complete compaction recording.
+type Trace struct {
+	K          int
+	Iterations []Iteration
+	// Quantiles are 257 key-space edges computed from the iteration-0 node
+	// population; the simulators map a key to a DIMM by quantile bucket,
+	// reproducing the paper's equal-population ascending-key partition.
+	Quantiles []dna.Kmer
+}
+
+// TotalNodeOps counts node visits across all iterations.
+func (t *Trace) TotalNodeOps() int64 {
+	var n int64
+	for i := range t.Iterations {
+		n += int64(len(t.Iterations[i].Nodes))
+	}
+	return n
+}
+
+// TotalTransfers counts TransferNodes across all iterations.
+func (t *Trace) TotalTransfers() int64 {
+	var n int64
+	for i := range t.Iterations {
+		n += int64(len(t.Iterations[i].Transfers))
+	}
+	return n
+}
+
+// DIMMOf maps a key to a DIMM index in [0, nDIMMs) using the iteration-0
+// quantile table.
+func (t *Trace) DIMMOf(key dna.Kmer, nDIMMs int) int {
+	return dimmOf(t.Quantiles, key, nDIMMs)
+}
+
+// DIMMOf maps a key to a DIMM using this iteration's refreshed table.
+func (it *Iteration) DIMMOf(key dna.Kmer, nDIMMs int) int {
+	return dimmOf(it.Quantiles, key, nDIMMs)
+}
+
+func dimmOf(q []dna.Kmer, key dna.Kmer, nDIMMs int) int {
+	if len(q) == 0 || nDIMMs <= 1 {
+		return 0
+	}
+	buckets := len(q) - 1
+	i := sort.Search(buckets, func(i int) bool { return q[i+1] > key })
+	if i >= buckets {
+		i = buckets - 1
+	}
+	d := i * nDIMMs / buckets
+	if d >= nDIMMs {
+		d = nDIMMs - 1
+	}
+	return d
+}
+
+// Save writes the trace with gob encoding.
+func (t *Trace) Save(w io.Writer) error { return gob.NewEncoder(w).Encode(t) }
+
+// Load reads a trace written by Save.
+func Load(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := gob.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	return &t, nil
+}
+
+// Builder implements compact.Observer and accumulates a Trace.
+type Builder struct {
+	trace   Trace
+	cur     *Iteration
+	idxOf   map[dna.Kmer]int32
+	pendTN  []pendingTN
+	pendUpd []pendingUpd
+}
+
+type pendingTN struct {
+	src, dst   dna.Kmer
+	tnBytes    int
+	suffixSide bool
+}
+
+type pendingUpd struct {
+	dst         dna.Kmer
+	read, write int
+}
+
+// NewBuilder returns a Builder for a graph with k-mer length k.
+func NewBuilder(k int) *Builder {
+	return &Builder{trace: Trace{K: k}}
+}
+
+// BeginIteration implements compact.Observer.
+func (b *Builder) BeginIteration(iter, liveNodes int) {
+	b.cur = &Iteration{Nodes: make([]NodeOp, 0, liveNodes)}
+	b.idxOf = make(map[dna.Kmer]int32, liveNodes)
+	b.pendTN = b.pendTN[:0]
+	b.pendUpd = b.pendUpd[:0]
+}
+
+// ScanNode implements compact.Observer.
+func (b *Builder) ScanNode(key dna.Kmer, d1, d2, exts, wires int, invalidated bool) {
+	b.idxOf[key] = int32(len(b.cur.Nodes))
+	b.cur.Nodes = append(b.cur.Nodes, NodeOp{
+		Key: key, D1: int32(d1), D2: int32(d2),
+		Exts: int32(exts), Wires: int32(wires), Invalidated: invalidated,
+	})
+}
+
+// Transfer implements compact.Observer. Destinations may not be scanned
+// yet, so resolution is deferred to EndIteration.
+func (b *Builder) Transfer(src, dst dna.Kmer, tnBytes int, suffixSide bool) {
+	b.pendTN = append(b.pendTN, pendingTN{src, dst, tnBytes, suffixSide})
+}
+
+// UpdateNode implements compact.Observer.
+func (b *Builder) UpdateNode(key dna.Kmer, readBytes, writeBytes int) {
+	b.pendUpd = append(b.pendUpd, pendingUpd{key, readBytes, writeBytes})
+}
+
+// EndIteration implements compact.Observer.
+func (b *Builder) EndIteration(st compact.IterStats) {
+	for _, p := range b.pendTN {
+		si, sok := b.idxOf[p.src]
+		di, dok := b.idxOf[p.dst]
+		if !sok || !dok {
+			continue // target outside this batch's graph; dropped by compact too
+		}
+		b.cur.Transfers = append(b.cur.Transfers, TransferOp{
+			SrcIdx: si, DstIdx: di, TNBytes: int32(p.tnBytes), SuffixSide: p.suffixSide,
+		})
+	}
+	for _, p := range b.pendUpd {
+		di, ok := b.idxOf[p.dst]
+		if !ok {
+			continue
+		}
+		b.cur.Updates = append(b.cur.Updates, UpdateOp{
+			DstIdx: di, ReadBytes: int32(p.read), WriteBytes: int32(p.write),
+		})
+	}
+	b.cur.Stats = st
+	b.cur.Quantiles = buildQuantiles(b.cur.Nodes)
+	if len(b.trace.Iterations) == 0 {
+		b.trace.Quantiles = b.cur.Quantiles
+	}
+	b.trace.Iterations = append(b.trace.Iterations, *b.cur)
+	b.cur = nil
+}
+
+// buildQuantiles derives a DIMM mapping table from an iteration's key
+// population (nodes arrive in ascending key order).
+func buildQuantiles(nodes []NodeOp) []dna.Kmer {
+	const buckets = 256
+	n := len(nodes)
+	if n == 0 {
+		return nil
+	}
+	q := make([]dna.Kmer, buckets+1)
+	for i := 0; i <= buckets; i++ {
+		idx := i * (n - 1) / buckets
+		q[i] = nodes[idx].Key
+	}
+	return q
+}
+
+// Trace returns the accumulated trace. The Builder must not be reused
+// afterwards.
+func (b *Builder) Trace() *Trace { return &b.trace }

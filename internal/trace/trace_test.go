@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"nmppak/internal/compact"
+	"nmppak/internal/dna"
+	"nmppak/internal/genome"
+	"nmppak/internal/kmer"
+	"nmppak/internal/pakgraph"
+	"nmppak/internal/readsim"
+)
+
+func record(t testing.TB, length int, seed int64) *Trace {
+	t.Helper()
+	g, err := genome.Generate(genome.Config{Length: length, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, err := readsim.Simulate(g, readsim.Config{ReadLen: 100, Coverage: 10, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := kmer.Count(reads, kmer.Config{K: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := pakgraph.Build(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder(32)
+	if _, err := compact.Run(pg, compact.Options{Observer: b, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	return b.Trace()
+}
+
+func TestBuilderCapturesIterations(t *testing.T) {
+	tr := record(t, 4000, 1)
+	if len(tr.Iterations) < 3 {
+		t.Fatalf("iterations = %d", len(tr.Iterations))
+	}
+	// Node counts must be non-increasing.
+	for i := 1; i < len(tr.Iterations); i++ {
+		if len(tr.Iterations[i].Nodes) > len(tr.Iterations[i-1].Nodes) {
+			t.Fatal("node count increased across iterations")
+		}
+	}
+	// Every transfer's src must be invalidated and dst must not be.
+	for it, iter := range tr.Iterations {
+		for _, tn := range iter.Transfers {
+			if !iter.Nodes[tn.SrcIdx].Invalidated {
+				t.Fatalf("iter %d: transfer src not invalidated", it)
+			}
+			if iter.Nodes[tn.DstIdx].Invalidated {
+				t.Fatalf("iter %d: transfer dst invalidated", it)
+			}
+		}
+		for _, up := range iter.Updates {
+			if iter.Nodes[up.DstIdx].Invalidated {
+				t.Fatalf("iter %d: update dst invalidated", it)
+			}
+			if up.WriteBytes <= 0 || up.ReadBytes <= 0 {
+				t.Fatalf("iter %d: empty update", it)
+			}
+		}
+	}
+}
+
+func TestTraceStatsMatchNodes(t *testing.T) {
+	tr := record(t, 3000, 2)
+	for _, iter := range tr.Iterations {
+		inval := 0
+		for _, n := range iter.Nodes {
+			if n.Invalidated {
+				inval++
+			}
+			if n.D1 <= 0 {
+				t.Fatal("node without data1 size")
+			}
+		}
+		if inval != iter.Stats.Invalidated {
+			t.Fatalf("invalidated mismatch: %d vs %d", inval, iter.Stats.Invalidated)
+		}
+		if len(iter.Nodes) != iter.Stats.LiveNodes {
+			t.Fatalf("live mismatch: %d vs %d", len(iter.Nodes), iter.Stats.LiveNodes)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tr := record(t, 2000, 3)
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K != tr.K || len(got.Iterations) != len(tr.Iterations) {
+		t.Fatal("round trip mismatch")
+	}
+	if got.TotalNodeOps() != tr.TotalNodeOps() || got.TotalTransfers() != tr.TotalTransfers() {
+		t.Fatal("totals mismatch")
+	}
+}
+
+func TestDIMMMappingBalancedAndOrdered(t *testing.T) {
+	tr := record(t, 4000, 4)
+	const nd = 8
+	counts := make([]int, nd)
+	prev := -1
+	for _, n := range tr.Iterations[0].Nodes { // ascending key order
+		d := tr.DIMMOf(n.Key, nd)
+		if d < prev {
+			t.Fatal("DIMM mapping not monotonic in key order")
+		}
+		prev = d
+		counts[d]++
+	}
+	total := len(tr.Iterations[0].Nodes)
+	for d, c := range counts {
+		frac := float64(c) / float64(total)
+		if frac < 0.08 || frac > 0.18 {
+			t.Fatalf("DIMM %d holds %.1f%% of nodes (want ~12.5%%)", d, frac*100)
+		}
+	}
+}
+
+func TestDIMMOfEdgeCases(t *testing.T) {
+	tr := &Trace{}
+	if tr.DIMMOf(dna.Kmer(123), 8) != 0 {
+		t.Fatal("empty quantiles must map to 0")
+	}
+	tr2 := record(t, 1000, 5)
+	if tr2.DIMMOf(dna.Kmer(0), 1) != 0 {
+		t.Fatal("single DIMM must map to 0")
+	}
+	max := tr2.DIMMOf(dna.Kmer(^uint64(0)), 8)
+	if max != 7 {
+		t.Fatalf("max key maps to %d want 7", max)
+	}
+}

@@ -1,0 +1,122 @@
+// Package walk generates contigs from a (typically compacted) PaK-graph —
+// Stage E of the PaKman pipeline (Fig. 2E). The paper measures this stage
+// at ~1% of runtime once Iterative Compaction has shrunk the graph.
+//
+// A contig is spelled by starting at a wire whose prefix side is terminal
+// (a read/contig beginning), emitting prefix + key + suffix, and repeatedly
+// hopping to the successor node through the suffix extension: arriving at
+// node w via suffix s of node v, the traversal entered through w's prefix
+// extension (v+s)[:|s|] and continues through an unused wire of that
+// prefix, appending its suffix extension — until a terminal suffix or a
+// dead end. Each wire is traversed at most once; remaining unused wires
+// (cycles) are walked from an arbitrary start.
+package walk
+
+import (
+	"sort"
+
+	"nmppak/internal/dna"
+	"nmppak/internal/pakgraph"
+)
+
+// Options controls contig generation.
+type Options struct {
+	// MinLen drops contigs shorter than this many bases (0 keeps all).
+	MinLen int
+}
+
+// Contigs walks g and returns the spelled contigs, longest first.
+// Completed contigs finished during compaction should be appended by the
+// caller (assemble does this).
+func Contigs(g *pakgraph.Graph, opt Options) []dna.Seq {
+	k1 := g.K1()
+	used := make(map[dna.Kmer][]bool, g.Len())
+	for key, n := range g.Nodes {
+		used[key] = make([]bool, len(n.Wires))
+	}
+	var out []dna.Seq
+
+	keys := g.SortedKeys()
+	// Pass 1: walks beginning at terminal prefixes.
+	for _, key := range keys {
+		n := g.Nodes[key]
+		for wi, w := range n.Wires {
+			if used[key][wi] || !n.Prefixes[w.P].Terminal {
+				continue
+			}
+			out = append(out, traverse(g, used, key, wi, k1))
+		}
+	}
+	// Pass 2: leftover wires (cycles or dead-start fragments).
+	for _, key := range keys {
+		n := g.Nodes[key]
+		for wi := range n.Wires {
+			if !used[key][wi] {
+				out = append(out, traverse(g, used, key, wi, k1))
+			}
+		}
+	}
+
+	if opt.MinLen > 0 {
+		kept := out[:0]
+		for _, c := range out {
+			if c.Len() >= opt.MinLen {
+				kept = append(kept, c)
+			}
+		}
+		out = kept
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Len() != out[j].Len() {
+			return out[i].Len() > out[j].Len()
+		}
+		return out[i].Cmp(out[j]) < 0
+	})
+	return out
+}
+
+// traverse spells one contig starting at wire wi of node key, consuming
+// wires as it goes.
+func traverse(g *pakgraph.Graph, used map[dna.Kmer][]bool, key dna.Kmer, wi int, k1 int) dna.Seq {
+	n := g.Nodes[key]
+	w := n.Wires[wi]
+	used[key][wi] = true
+	contig := n.Prefixes[w.P].Seq.Concat(key.Seq(k1))
+	for {
+		s := n.Suffixes[w.S]
+		contig = contig.Concat(s.Seq)
+		if s.Terminal {
+			return contig
+		}
+		nextKey := dna.NeighborViaSuffix(n.Key, k1, s.Seq)
+		next := g.Nodes[nextKey]
+		if next == nil {
+			return contig // dangling edge (possible only on merged noisy graphs)
+		}
+		// The traversal entered next through prefix extension
+		// (key+s)[:|s|].
+		arr := n.Key.Seq(k1).Concat(s.Seq).Slice(0, s.Seq.Len())
+		pj := -1
+		for i, e := range next.Prefixes {
+			if !e.Terminal && e.Seq.Equal(arr) {
+				pj = i
+				break
+			}
+		}
+		if pj < 0 {
+			return contig
+		}
+		// Choose the highest-count unused wire departing from that prefix.
+		best, bestCount := -1, uint32(0)
+		for i, nw := range next.Wires {
+			if int(nw.P) == pj && !used[nextKey][i] && nw.Count > bestCount {
+				best, bestCount = i, nw.Count
+			}
+		}
+		if best < 0 {
+			return contig
+		}
+		used[nextKey][best] = true
+		key, n, w = nextKey, next, next.Wires[best]
+	}
+}

@@ -1,0 +1,128 @@
+// Package nmppak is the public API of the NMP-PaK reproduction: a de novo
+// short-read genome assembler built on PaKman's MacroNode/PaK-graph
+// algorithm (k-mer counting, MacroNode construction, Iterative Compaction,
+// graph walk) together with trace-driven timing models of the paper's
+// near-memory-processing hardware, CPU and GPU baselines.
+//
+// Quick start:
+//
+//	g, _ := nmppak.GenerateGenome(nmppak.GenomeConfig{Length: 100000, Seed: 1})
+//	reads, _ := nmppak.SimulateReads(g, nmppak.ReadConfig{ReadLen: 100, Coverage: 30, ErrorRate: 0.01, Seed: 1})
+//	out, _ := nmppak.Assemble(reads, nmppak.AssemblyConfig{K: 32, MinCount: 3})
+//	fmt.Println(out.Summary.N50)
+//
+// The hardware models are reached through CaptureTrace + the Simulate*
+// functions, and every table/figure of the paper's evaluation can be
+// regenerated through the Experiments entry points (see cmd/experiments).
+package nmppak
+
+import (
+	"nmppak/internal/assemble"
+	"nmppak/internal/compact"
+	"nmppak/internal/cpumodel"
+	"nmppak/internal/dna"
+	"nmppak/internal/genome"
+	"nmppak/internal/gpumodel"
+	"nmppak/internal/kmer"
+	"nmppak/internal/metrics"
+	"nmppak/internal/nmp"
+	"nmppak/internal/pakgraph"
+	"nmppak/internal/readsim"
+	"nmppak/internal/trace"
+)
+
+// Re-exported configuration and result types. The internal packages hold
+// the implementations; these aliases are the supported public surface.
+type (
+	// GenomeConfig controls synthetic reference generation.
+	GenomeConfig = genome.Config
+	// Genome is a set of synthesized replicons.
+	Genome = genome.Genome
+	// ReadConfig controls Illumina-like read simulation.
+	ReadConfig = readsim.Config
+	// Read is one simulated short read.
+	Read = readsim.Read
+	// AssemblyConfig parameterizes the assembly pipeline.
+	AssemblyConfig = assemble.Config
+	// AssemblyOutput is the pipeline result (contigs, metrics, timings).
+	AssemblyOutput = assemble.Output
+	// AssemblySummary holds N50/NG50/coverage statistics.
+	AssemblySummary = metrics.Summary
+	// Seq is a 2-bit packed DNA sequence.
+	Seq = dna.Seq
+	// Trace is a recorded Iterative Compaction event stream.
+	Trace = trace.Trace
+	// NMPConfig parameterizes the near-memory-processing system model.
+	NMPConfig = nmp.Config
+	// NMPResult is the NMP simulation outcome.
+	NMPResult = nmp.Result
+	// CPUConfig parameterizes the multicore baseline model.
+	CPUConfig = cpumodel.Config
+	// CPUResult is the CPU simulation outcome.
+	CPUResult = cpumodel.Result
+	// GPUConfig parameterizes the A100-class baseline model.
+	GPUConfig = gpumodel.Config
+	// GPUResult is the GPU model outcome.
+	GPUResult = gpumodel.Result
+)
+
+// GenerateGenome synthesizes a reference genome.
+func GenerateGenome(cfg GenomeConfig) (*Genome, error) { return genome.Generate(cfg) }
+
+// SimulateReads sequences a genome into short reads (ART substitute).
+func SimulateReads(g *Genome, cfg ReadConfig) ([]Read, error) { return readsim.Simulate(g, cfg) }
+
+// Assemble runs the full PaKman pipeline: k-mer counting, MacroNode
+// construction, per-batch Iterative Compaction, graph merge and walk.
+func Assemble(reads []Read, cfg AssemblyConfig) (*AssemblyOutput, error) {
+	return assemble.Run(reads, cfg)
+}
+
+// Summarize computes assembly quality metrics against an optional
+// reference.
+func Summarize(contigs []Seq, ref []Seq) AssemblySummary { return metrics.Summarize(contigs, ref) }
+
+// CaptureTrace assembles a read set (single batch) while recording the
+// Iterative Compaction event stream the hardware models replay. The
+// threshold semantics follow the paper: compaction stops once the live
+// node count falls below compactThreshold (0 compacts to a fixed point).
+func CaptureTrace(reads []Read, k int, minCount uint32, compactThreshold int) (*Trace, *AssemblyOutput, error) {
+	b := trace.NewBuilder(k)
+	out, err := assemble.Run(reads, assemble.Config{
+		K: k, MinCount: minCount, CompactThreshold: compactThreshold,
+		Flow: compact.FlowPipelined, Observer: b,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return b.Trace(), out, nil
+}
+
+// DefaultNMPConfig returns the paper's NMP-PaK system (Table 2).
+func DefaultNMPConfig() NMPConfig { return nmp.DefaultConfig() }
+
+// SimulateNMP replays a compaction trace on the NMP-PaK hardware model.
+func SimulateNMP(tr *Trace, cfg NMPConfig) (*NMPResult, error) { return nmp.Simulate(tr, cfg) }
+
+// DefaultCPUConfig returns the 64-thread CPU baseline model.
+func DefaultCPUConfig() CPUConfig { return cpumodel.DefaultConfig() }
+
+// SimulateCPU replays a compaction trace on the CPU baseline model.
+func SimulateCPU(tr *Trace, cfg CPUConfig) (*CPUResult, error) { return cpumodel.Simulate(tr, cfg) }
+
+// DefaultGPUConfig returns the A100 40 GB baseline model.
+func DefaultGPUConfig() GPUConfig { return gpumodel.A100_40GB() }
+
+// SimulateGPU replays a compaction trace on the GPU baseline model.
+func SimulateGPU(tr *Trace, cfg GPUConfig) (*GPUResult, error) { return gpumodel.Simulate(tr, cfg) }
+
+// ParseSeq parses an ASCII DNA string.
+func ParseSeq(s string) (Seq, error) { return dna.ParseSeq(s) }
+
+// CountKmers runs the optimized parallel k-mer counting pass.
+func CountKmers(reads []Read, k int, minCount uint32) (*kmer.Result, error) {
+	return kmer.Count(reads, kmer.Config{K: k, MinCount: minCount})
+}
+
+// BuildGraph constructs the PaK-graph from counted k-mers.
+func BuildGraph(res *kmer.Result) (*pakgraph.Graph, error) { return pakgraph.Build(res) }

@@ -1,0 +1,79 @@
+package nmppak_test
+
+import (
+	"strings"
+	"testing"
+
+	"nmppak"
+)
+
+// TestPublicAPIEndToEnd drives the whole public surface: genome, reads,
+// assembly, metrics, trace capture and all three hardware models.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	g, err := nmppak.GenerateGenome(nmppak.GenomeConfig{Length: 20000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, err := nmppak.SimulateReads(g, nmppak.ReadConfig{ReadLen: 100, Coverage: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := nmppak.Assemble(reads, nmppak.AssemblyConfig{K: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := nmppak.Summarize(out.Contigs, g.Replicons)
+	if sum.GenomeFrac < 0.99 {
+		t.Fatalf("genome fraction %v", sum.GenomeFrac)
+	}
+	ref := g.Replicons[0].String()
+	for _, c := range out.Contigs {
+		if !strings.Contains(ref, c.String()) {
+			t.Fatal("contig not a genome substring")
+		}
+	}
+
+	tr, _, err := nmppak.CaptureTrace(reads, 32, 0, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nres, err := nmppak.SimulateNMP(tr, nmppak.DefaultNMPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cres, err := nmppak.SimulateCPU(tr, nmppak.DefaultCPUConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gres, err := nmppak.SimulateGPU(tr, nmppak.DefaultGPUConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nres.Seconds <= 0 || cres.Seconds <= 0 || gres.Seconds <= 0 {
+		t.Fatal("degenerate model results")
+	}
+	if nres.Seconds >= cres.Seconds {
+		t.Fatalf("NMP (%.4fs) must beat the CPU baseline (%.4fs)", nres.Seconds, cres.Seconds)
+	}
+}
+
+func TestKmerGraphHelpers(t *testing.T) {
+	seq, err := nmppak.ParseSeq("ACGTACGTACGTACGTACGTACGTACGTACGTACGT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nmppak.CountKmers([]nmppak.Read{{Seq: seq}}, 32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := nmppak.BuildGraph(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() == 0 {
+		t.Fatal("empty graph")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
