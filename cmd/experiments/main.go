@@ -3,9 +3,12 @@
 // Usage:
 //
 //	experiments [-quick] [-scale N] <id>|all
+//	experiments [-quick] [-scale N] -scaling
 //
 // where <id> is one of: fig5 fig6 fig7 fig8 fig12 fig13 fig14 fig15
-// table1 table3 comm super hybrid footprint gpucap swopt.
+// table1 table3 comm super hybrid footprint gpucap swopt ablation
+// scaling. The -scaling flag is shorthand for the scaling study (the
+// multi-node scale-out strong/weak-scaling report).
 package main
 
 import (
@@ -21,12 +24,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		quick = flag.Bool("quick", false, "use the small test workload")
-		scale = flag.Int("scale", 0, "override genome length (bp)")
+		quick   = flag.Bool("quick", false, "use the small test workload")
+		scale   = flag.Int("scale", 0, "override genome length (bp)")
+		scaling = flag.Bool("scaling", false, "run the multi-node scale-out scaling study")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [-quick] [-scale N] <fig5|fig6|fig7|fig8|fig12|fig13|fig14|fig15|table1|table3|comm|super|hybrid|footprint|gpucap|swopt|ablation|all>")
+	if (flag.NArg() != 1 && !*scaling) || (flag.NArg() > 0 && *scaling) {
+		fmt.Fprintln(os.Stderr, "usage: experiments [-quick] [-scale N] <fig5|fig6|fig7|fig8|fig12|fig13|fig14|fig15|table1|table3|comm|super|hybrid|footprint|gpucap|swopt|ablation|scaling|all>")
+		fmt.Fprintln(os.Stderr, "       experiments [-quick] [-scale N] -scaling")
 		os.Exit(2)
 	}
 	w := experiments.DefaultWorkload()
@@ -72,11 +77,16 @@ func main() {
 		"gpucap":    func() (*experiments.Report, error) { return experiments.GPUCap(ctx) },
 		"swopt":     func() (*experiments.Report, error) { return experiments.SWOpt(ctx) },
 		"ablation":  func() (*experiments.Report, error) { return experiments.Ablation(ctx) },
+		"scaling":   func() (*experiments.Report, error) { return experiments.Scaling(ctx) },
 	}
 	order := []string{"fig5", "fig6", "fig7", "fig8", "table1", "fig12", "fig13", "fig14",
-		"fig15", "comm", "super", "table3", "hybrid", "footprint", "gpucap", "swopt", "ablation"}
+		"fig15", "comm", "super", "table3", "hybrid", "footprint", "gpucap", "swopt", "ablation",
+		"scaling"}
 
 	id := flag.Arg(0)
+	if *scaling {
+		id = "scaling"
+	}
 	if id == "all" {
 		for _, name := range order {
 			r, err := drivers[name]()

@@ -1,0 +1,3 @@
+module nmppak
+
+go 1.24

@@ -105,7 +105,7 @@ func TestSeqConcatSlice(t *testing.T) {
 			lo := r.Intn(len(a + b))
 			hi := lo + r.Intn(len(a+b)-lo)
 			if got := cat.Slice(lo, hi).String(); got != (a + b)[lo:hi] {
-				t.Fatalf("slice[%d:%d] = %q want %q", lo, hi, got, (a+b)[lo:hi])
+				t.Fatalf("slice[%d:%d] = %q want %q", lo, hi, got, (a + b)[lo:hi])
 			}
 		}
 	}

@@ -24,18 +24,18 @@ type Config struct {
 	RowBytes     int // row buffer size (8 KB)
 
 	// Core timing (cycles). Defaults follow DDR4-3200AA (22-22-22).
-	TRCD int // ACT -> RD/WR
-	TRP  int // PRE -> ACT
-	TCL  int // RD -> first data
-	TCWL int // WR -> first data
-	TBL  int // data burst length on the bus (BL8 = 4 clocks)
-	TRAS int // ACT -> PRE
-	TRRD int // ACT -> ACT, different bank, same rank
-	TFAW int // four-activate window per rank
-	TWR  int // end of write data -> PRE
-	TRTP int // RD -> PRE
-	TWTR int // end of write data -> RD (same rank)
-	TRFC int // refresh cycle time
+	TRCD  int // ACT -> RD/WR
+	TRP   int // PRE -> ACT
+	TCL   int // RD -> first data
+	TCWL  int // WR -> first data
+	TBL   int // data burst length on the bus (BL8 = 4 clocks)
+	TRAS  int // ACT -> PRE
+	TRRD  int // ACT -> ACT, different bank, same rank
+	TFAW  int // four-activate window per rank
+	TWR   int // end of write data -> PRE
+	TRTP  int // RD -> PRE
+	TWTR  int // end of write data -> RD (same rank)
+	TRFC  int // refresh cycle time
 	TREFI int // refresh interval
 }
 

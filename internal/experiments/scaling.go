@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nmppak/internal/report"
+	"nmppak/internal/scaleout"
+)
+
+// scalingNodes are the machine sizes the scaling study sweeps.
+var scalingNodes = []int{1, 2, 4, 8}
+
+// scaleOutConfig builds the study's scale-out system for the workload.
+func scaleOutConfig(w Workload, n int) scaleout.Config {
+	cfg := scaleout.DefaultConfig(n)
+	cfg.K = w.K
+	cfg.MinCount = w.MinCount
+	cfg.Workers = w.Workers
+	return cfg
+}
+
+// Scaling runs the scale-out study the paper's §6.4 supercomputer
+// comparison gestures at but never measures: the same sharded
+// multi-node structure as PaKman's MPI runs (distributed counting,
+// distributed MacroNode construction, lockstep Iterative Compaction with
+// halo exchange), with every node a full NMP-PaK system.
+//
+// Strong scaling holds the workload fixed while nodes grow; weak scaling
+// holds the per-node genome share fixed (GenomeLen/8 per node, so the
+// 8-node point is the full workload). The N=1 compaction phase is
+// cycle-identical to the single-node SimulateNMP result; speedups are
+// deterministic replays, reproducible bit for bit.
+func Scaling(c *Context) (*Report, error) {
+	tr, err := c.Trace()
+	if err != nil {
+		return nil, err
+	}
+
+	// Strong scaling: fixed workload, growing machine.
+	strong := make([]*scaleout.Result, 0, len(scalingNodes))
+	for _, n := range scalingNodes {
+		res, err := scaleout.Simulate(c.Reads, tr, scaleOutConfig(c.W, n))
+		if err != nil {
+			return nil, err
+		}
+		strong = append(strong, res)
+	}
+
+	// Weak scaling: per-node share fixed at 1/8 of the workload genome.
+	perNode := c.W.GenomeLen / scalingNodes[len(scalingNodes)-1]
+	weak := make([]*scaleout.Result, 0, len(scalingNodes))
+	for _, n := range scalingNodes {
+		w := c.W
+		w.GenomeLen = perNode * n
+		wc, err := NewContext(w)
+		if err != nil {
+			return nil, err
+		}
+		wtr, err := wc.Trace()
+		if err != nil {
+			return nil, err
+		}
+		res, err := scaleout.Simulate(wc.Reads, wtr, scaleOutConfig(w, n))
+		if err != nil {
+			return nil, err
+		}
+		weak = append(weak, res)
+	}
+
+	cycles := func(rs []*scaleout.Result) []float64 {
+		out := make([]float64, len(rs))
+		for i, r := range rs {
+			out[i] = float64(r.TotalCycles)
+		}
+		return out
+	}
+	comm := func(rs []*scaleout.Result) []float64 {
+		out := make([]float64, len(rs))
+		for i, r := range rs {
+			out[i] = r.CommFraction
+		}
+		return out
+	}
+	text := report.Scaling("Strong scaling (fixed workload)", scalingNodes, cycles(strong), comm(strong)) +
+		"\n" + report.Scaling(fmt.Sprintf("Weak scaling (%d bp genome per node)", perNode),
+		scalingNodes, cycles(weak), comm(weak))
+
+	phase := &report.Table{
+		Title:   "Strong-scaling phase split (cycles)",
+		Headers: []string{"nodes", "count", "construct", "compact", "exchange", "remote TNs", "imbalance"},
+	}
+	for _, r := range strong {
+		phase.AddRow(r.Nodes,
+			fmt.Sprintf("%d", r.Count.Total()),
+			fmt.Sprintf("%d", r.Construct.Total()),
+			fmt.Sprintf("%d", r.Compact.Total()),
+			fmt.Sprintf("%d", r.Count.Exchange+r.Construct.Exchange+r.Compact.Exchange),
+			report.Percent(r.RemoteTNFrac),
+			fmt.Sprintf("%.2f", r.Imbalance))
+	}
+	text += "\n" + phase.String() +
+		"N=1 compaction is cycle-identical to the single-node SimulateNMP replay.\n"
+
+	measured := map[string]float64{
+		"comm_frac_8x":  strong[len(strong)-1].CommFraction,
+		"weak_eff_8x":   weak[len(weak)-1].Speedup(weak[0]),
+		"imbalance_8x":  strong[len(strong)-1].Imbalance,
+		"remote_tn_8x":  strong[len(strong)-1].RemoteTNFrac,
+		"n1_compact_cy": float64(strong[0].Compact.Total()),
+	}
+	for i, n := range scalingNodes {
+		if n == 1 {
+			continue
+		}
+		measured[fmt.Sprintf("speedup_%dx", n)] = strong[i].Speedup(strong[0])
+		measured[fmt.Sprintf("eff_%dx", n)] = strong[i].Efficiency(strong[0])
+	}
+	return &Report{
+		ID:       "scaling",
+		Title:    "Scale-out strong/weak scaling",
+		Text:     text,
+		Measured: measured,
+	}, nil
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"nmppak/internal/nmp"
+)
+
+func TestScalingReport(t *testing.T) {
+	c := ctx(t)
+	r, err := Scaling(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Text, "Strong scaling") || !strings.Contains(r.Text, "Weak scaling") {
+		t.Fatalf("report missing scaling tables:\n%s", r.Text)
+	}
+	// Scale-out must actually scale: more nodes, more speedup, and the
+	// 8-node machine must beat half of linear on this compute-heavy
+	// workload.
+	s2, s4, s8 := r.Measured["speedup_2x"], r.Measured["speedup_4x"], r.Measured["speedup_8x"]
+	if !(1 < s2 && s2 < s4 && s4 < s8) {
+		t.Fatalf("speedups not monotone: 2x=%.2f 4x=%.2f 8x=%.2f", s2, s4, s8)
+	}
+	if s8 > 8 {
+		t.Fatalf("super-linear 8-node speedup %.2f", s8)
+	}
+	if r.Measured["eff_8x"] < 0.5 {
+		t.Fatalf("8-node efficiency %.2f below 50%%", r.Measured["eff_8x"])
+	}
+	if f := r.Measured["comm_frac_8x"]; f <= 0 || f >= 1 {
+		t.Fatalf("comm fraction %.3f out of range", f)
+	}
+
+	// The N=1 compaction phase is pinned to the single-node replay.
+	tr, err := c.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := nmp.Simulate(tr, nmp.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Measured["n1_compact_cy"]; got != float64(single.Cycles) {
+		t.Fatalf("N=1 compact phase %v cycles, SimulateNMP %d", got, single.Cycles)
+	}
+
+	// Deterministic replays: a second run reproduces every number.
+	r2, err := Scaling(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range r.Measured {
+		if r2.Measured[k] != v {
+			t.Fatalf("measure %q not reproducible: %v vs %v", k, v, r2.Measured[k])
+		}
+	}
+}

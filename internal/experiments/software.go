@@ -77,7 +77,7 @@ func Fig7(c *Context) (*Report, error) {
 			}
 			h[b]++
 		}
-		row := make([]interface{}, 0, len(h)+1)
+		row := make([]any, 0, len(h)+1)
 		row = append(row, fmt.Sprintf("iter %d", it))
 		for _, cnt := range h {
 			row = append(row, cnt)

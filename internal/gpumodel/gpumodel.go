@@ -52,13 +52,13 @@ func A100_40GB() Config {
 
 // Result of a GPU-model run.
 type Result struct {
-	Cycles       sim.Cycle
-	Seconds      float64
-	BytesMoved   int64
-	PeakBytes    int64 // largest per-iteration working set
-	Feasible     bool  // working set fits device memory
-	Iterations   int
-	LaunchShare  float64 // fraction of time in launch overhead
+	Cycles      sim.Cycle
+	Seconds     float64
+	BytesMoved  int64
+	PeakBytes   int64 // largest per-iteration working set
+	Feasible    bool  // working set fits device memory
+	Iterations  int
+	LaunchShare float64 // fraction of time in launch overhead
 }
 
 // Simulate computes the GPU baseline time for a compaction trace. The GPU

@@ -106,7 +106,7 @@ func Count(reads []readsim.Read, cfg Config) (*Result, error) {
 				ts:    make(map[dna.Kmer]uint32),
 			}
 			for _, rd := range reads[rlo:rhi] {
-				extractInto(&sh.kmers, sh.tp, sh.ts, rd.Seq, cfg.K)
+				ExtractInto(&sh.kmers, sh.tp, sh.ts, rd.Seq, cfg.K)
 			}
 			shards[ci] = sh
 		}
@@ -157,7 +157,7 @@ func CountNaive(reads []readsim.Read, cfg Config) (*Result, error) {
 	}
 	var all []uint64 // deliberately not preallocated
 	for _, rd := range reads {
-		extractInto(&all, res.TermPrefix, res.TermSuffix, rd.Seq, cfg.K)
+		ExtractInto(&all, res.TermPrefix, res.TermSuffix, rd.Seq, cfg.K)
 	}
 	res.TotalExtracted = int64(len(all))
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
@@ -165,9 +165,11 @@ func CountNaive(reads []readsim.Read, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// extractInto appends all k-mers of seq to dst and records the terminal
-// (k-1)-mers of the read in tp/ts.
-func extractInto(dst *[]uint64, tp, ts map[dna.Kmer]uint32, seq dna.Seq, k int) {
+// ExtractInto appends all k-mers of seq to dst and records the terminal
+// (k-1)-mers of the read in tp/ts. Exported for internal/scaleout, whose
+// per-node extraction must match this pass exactly for the sharded merge
+// to reproduce the single-node result.
+func ExtractInto(dst *[]uint64, tp, ts map[dna.Kmer]uint32, seq dna.Seq, k int) {
 	n := seq.Len()
 	if n < k {
 		return

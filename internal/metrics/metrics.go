@@ -12,15 +12,15 @@ import (
 
 // Summary aggregates assembly statistics.
 type Summary struct {
-	Contigs     int
-	TotalBases  int64
-	LongestLen  int
-	N50         int
-	L50         int // number of contigs at or above the N50 length
-	NG50        int // N50 against the reference genome length (0 if unknown)
-	MeanLen     float64
-	GenomeFrac  float64 // fraction of reference 31-mers present in contigs
-	RefLength   int64
+	Contigs    int
+	TotalBases int64
+	LongestLen int
+	N50        int
+	L50        int // number of contigs at or above the N50 length
+	NG50       int // N50 against the reference genome length (0 if unknown)
+	MeanLen    float64
+	GenomeFrac float64 // fraction of reference 31-mers present in contigs
+	RefLength  int64
 }
 
 // Lengths extracts contig lengths.

@@ -135,13 +135,13 @@ func Simulate(tr *trace.Trace, cfg Config) (*Result, error) {
 
 // iterSim is the per-iteration simulation state.
 type iterSim struct {
-	eng      *sim.Engine
-	chs      []*dram.Channel
-	cfg      Config
-	tr       *trace.Trace
-	iter     *trace.Iteration
-	startAt  sim.Cycle
-	res      *Result
+	eng     *sim.Engine
+	chs     []*dram.Channel
+	cfg     Config
+	tr      *trace.Trace
+	iter    *trace.Iteration
+	startAt sim.Cycle
+	res     *Result
 
 	loc     []nodeLoc
 	dimm    []int
@@ -150,16 +150,16 @@ type iterSim struct {
 	tnBySrc map[int32][]trace.TransferOp
 	upd     []updState // indexed by node idx
 
-	xbarFree   [][]sim.Cycle // [dimm][pe] output-port free time
-	bridgeOut  []sim.Cycle
-	bridgeIn   []sim.Cycle
+	xbarFree  [][]sim.Cycle // [dimm][pe] output-port free time
+	bridgeOut []sim.Cycle
+	bridgeIn  []sim.Cycle
 
-	cpuQueue  []cpuJob
-	cpuIdle   int
-	cpuNodes  []int
-	nmpNodes  int
-	lastNMP   sim.Cycle
-	lastCPU   sim.Cycle
+	cpuQueue []cpuJob
+	cpuIdle  int
+	cpuNodes []int
+	nmpNodes int
+	lastNMP  sim.Cycle
+	lastCPU  sim.Cycle
 }
 
 type updState struct {

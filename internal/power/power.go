@@ -37,15 +37,15 @@ func Totals(components []Component) (areaMM2, powerMW float64) {
 
 // System summarizes an n-PE deployment against the host DIMM budget.
 type System struct {
-	PEs            int
-	PEAreaMM2      float64
-	PEPowerMW      float64
-	TotalAreaMM2   float64
-	TotalPowerMW   float64
-	BufferChipMM2  float64 // typical buffer chip area (§6.5: 100 mm²)
-	DIMMPowerW     float64 // single DIMM power budget (§6.5: 13 W)
-	AreaOverhead   float64 // fraction of buffer chip
-	PowerOverhead  float64 // fraction of DIMM power
+	PEs           int
+	PEAreaMM2     float64
+	PEPowerMW     float64
+	TotalAreaMM2  float64
+	TotalPowerMW  float64
+	BufferChipMM2 float64 // typical buffer chip area (§6.5: 100 mm²)
+	DIMMPowerW    float64 // single DIMM power budget (§6.5: 13 W)
+	AreaOverhead  float64 // fraction of buffer chip
+	PowerOverhead float64 // fraction of DIMM power
 }
 
 // Analyze computes the Table 3 bottom line for n PEs per buffer chip.
@@ -68,14 +68,14 @@ func Analyze(n int) System {
 // GPUComparison reproduces the §6.6 resource arithmetic: serving a given
 // working set with A100 80 GB GPUs versus NMP-PaK DIMMs.
 type GPUComparison struct {
-	WorkingSetGB    float64
-	GPUsNeeded      int
-	GPUPowerW       float64
-	GPUAreaMM2      float64
-	NMPPowerW       float64
-	NMPAreaMM2      float64
-	PowerRatio      float64
-	AreaRatio       float64
+	WorkingSetGB float64
+	GPUsNeeded   int
+	GPUPowerW    float64
+	GPUAreaMM2   float64
+	NMPPowerW    float64
+	NMPAreaMM2   float64
+	PowerRatio   float64
+	AreaRatio    float64
 }
 
 // CompareGPU computes the comparison for a working set in GB. Constants

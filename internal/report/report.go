@@ -16,7 +16,7 @@ type Table struct {
 }
 
 // AddRow appends a row of cells (formatted with %v).
-func (t *Table) AddRow(cells ...interface{}) {
+func (t *Table) AddRow(cells ...any) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
@@ -102,3 +102,26 @@ func Bar(title string, labels []string, values []float64, maxWidth int) string {
 
 // Percent formats a fraction as a percentage.
 func Percent(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// Scaling renders a scaling study as a table: one row per node count with
+// total cycles, speedup and parallel efficiency relative to the first row,
+// and the communication fraction. For a strong-scaling study pass the same
+// workload at every node count; for weak scaling pass the proportionally
+// grown workloads, where the speedup column (T1/TN) is the weak-scaling
+// efficiency and the per-node efficiency column is not meaningful.
+func Scaling(title string, nodes []int, cycles []float64, commFrac []float64) string {
+	t := &Table{
+		Title:   title,
+		Headers: []string{"nodes", "cycles", "speedup", "efficiency", "comm"},
+	}
+	for i, n := range nodes {
+		speedup := 0.0
+		if cycles[i] > 0 {
+			speedup = cycles[0] / cycles[i]
+		}
+		eff := speedup * float64(nodes[0]) / float64(n)
+		t.AddRow(n, fmt.Sprintf("%.4g", cycles[i]), fmt.Sprintf("%.2fx", speedup),
+			Percent(eff), Percent(commFrac[i]))
+	}
+	return t.String()
+}

@@ -1,0 +1,332 @@
+package scaleout
+
+import (
+	"sort"
+
+	"nmppak/internal/dna"
+	"nmppak/internal/kmer"
+	"nmppak/internal/pakgraph"
+	"nmppak/internal/par"
+	"nmppak/internal/readsim"
+)
+
+// Wire-format record sizes: a k-mer is one 8-byte word, a (k-mer, count)
+// record adds a 4-byte count, and terminal-marker records are the same
+// shape keyed by a (k-1)-mer.
+const (
+	countRecordBytes = 12
+	graphRecordBytes = 12
+)
+
+// ShardedCount is the outcome of distributed k-mer counting: reads are
+// split round-robin across nodes, each node extracts and locally
+// pre-aggregates its k-mers (sort + dedup, PaKman's combining step), the
+// partial counts travel all-to-all to their owners, and each owner merges
+// and prunes. The union of the per-node results is byte-identical to a
+// single-node kmer.Count run, which TestShardedCountMergeEquivalence
+// asserts.
+type ShardedCount struct {
+	K     int
+	Nodes int
+	// Shards[i] holds exactly the k-mers owned by node i, in ascending
+	// order, with the same pruning statistics kmer.Count would produce
+	// for that subset.
+	Shards []*kmer.Result
+
+	ReadsPerNode     []int
+	ExtractedPerNode []int64 // raw k-mer instances before local dedup
+	RecordsToNode    []int64 // partial-count records each owner merges
+	// CountExchange[src][dst] is the bytes of partial-count records node
+	// src ships to owner dst (diagonal = locally retained, free).
+	CountExchange [][]int64
+}
+
+// CountSharded runs the distributed counting pass. Partition, k and
+// MinCount come from cfg; reads are split round-robin so every node gets a
+// near-equal share regardless of input order.
+func CountSharded(reads []readsim.Read, cfg Config) (*ShardedCount, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Nodes
+	kc := kmer.Config{K: cfg.K, MinCount: cfg.MinCount}
+	if err := kc.Validate(); err != nil {
+		return nil, err
+	}
+	p := cfg.Partitioner
+
+	sc := &ShardedCount{
+		K:                cfg.K,
+		Nodes:            n,
+		Shards:           make([]*kmer.Result, n),
+		ReadsPerNode:     make([]int, n),
+		ExtractedPerNode: make([]int64, n),
+		RecordsToNode:    make([]int64, n),
+		CountExchange:    mat(n),
+	}
+	for i := range reads {
+		sc.ReadsPerNode[i%n]++
+	}
+
+	// Per-node extraction + local pre-aggregation, each node in parallel
+	// (the intra-node parallelism of kmer.Count is already exercised by the
+	// single-node path; here the unit of concurrency is the virtual node).
+	type bucketSet struct {
+		recs [][]kmer.Counted      // by owner
+		tp   []map[dna.Kmer]uint32 // terminal prefixes by key owner
+		ts   []map[dna.Kmer]uint32 // terminal suffixes by key owner
+	}
+	buckets := make([]bucketSet, n)
+	par.ForIdx(n, cfg.Workers, func(src int) {
+		var raw []uint64
+		tp := make(map[dna.Kmer]uint32)
+		ts := make(map[dna.Kmer]uint32)
+		for ri := src; ri < len(reads); ri += n {
+			kmer.ExtractInto(&raw, tp, ts, reads[ri].Seq, cfg.K)
+		}
+		sc.ExtractedPerNode[src] = int64(len(raw))
+		sort.Slice(raw, func(i, j int) bool { return raw[i] < raw[j] })
+
+		bs := bucketSet{
+			recs: make([][]kmer.Counted, n),
+			tp:   make([]map[dna.Kmer]uint32, n),
+			ts:   make([]map[dna.Kmer]uint32, n),
+		}
+		for d := 0; d < n; d++ {
+			bs.tp[d] = make(map[dna.Kmer]uint32)
+			bs.ts[d] = make(map[dna.Kmer]uint32)
+		}
+		i := 0
+		for i < len(raw) {
+			j := i + 1
+			for j < len(raw) && raw[j] == raw[i] {
+				j++
+			}
+			km := dna.Kmer(raw[i])
+			d := p.Owner(km, cfg.K, n)
+			bs.recs[d] = append(bs.recs[d], kmer.Counted{Km: km, Count: uint32(j - i)})
+			i = j
+		}
+		for km, c := range tp {
+			bs.tp[p.Owner(km, cfg.K-1, n)][km] += c
+		}
+		for km, c := range ts {
+			bs.ts[p.Owner(km, cfg.K-1, n)][km] += c
+		}
+		buckets[src] = bs
+	})
+
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			b := int64(len(buckets[src].recs[dst])) * countRecordBytes
+			b += int64(len(buckets[src].tp[dst])+len(buckets[src].ts[dst])) * countRecordBytes
+			sc.CountExchange[src][dst] = b
+		}
+	}
+
+	// Owner-side merge: gather the src-sorted partial lists, re-sort, sum
+	// runs, prune. Pruning after the exchange sees the complete count of
+	// every owned k-mer, so it is exactly the single-node threshold.
+	par.ForIdx(n, cfg.Workers, func(dst int) {
+		var recs []kmer.Counted
+		for src := 0; src < n; src++ {
+			recs = append(recs, buckets[src].recs[dst]...)
+		}
+		sc.RecordsToNode[dst] = int64(len(recs))
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Km < recs[j].Km })
+		res := &kmer.Result{
+			K:          cfg.K,
+			TermPrefix: make(map[dna.Kmer]uint32),
+			TermSuffix: make(map[dna.Kmer]uint32),
+		}
+		i := 0
+		for i < len(recs) {
+			j := i + 1
+			c := recs[i].Count
+			for j < len(recs) && recs[j].Km == recs[i].Km {
+				c += recs[j].Count
+				j++
+			}
+			res.TotalExtracted += int64(c)
+			if c >= max32(cfg.MinCount, 1) {
+				res.Kmers = append(res.Kmers, kmer.Counted{Km: recs[i].Km, Count: c})
+			} else {
+				res.PrunedKinds++
+				res.PrunedMass += int64(c)
+			}
+			i = j
+		}
+		for src := 0; src < n; src++ {
+			for km, c := range buckets[src].tp[dst] {
+				res.TermPrefix[km] += c
+			}
+			for km, c := range buckets[src].ts[dst] {
+				res.TermSuffix[km] += c
+			}
+		}
+		sc.Shards[dst] = res
+	})
+	return sc, nil
+}
+
+// Merge reassembles the global counting result from the shards; the output
+// is ordered and structured exactly like kmer.Count's.
+func (sc *ShardedCount) Merge() *kmer.Result {
+	res := &kmer.Result{
+		K:          sc.K,
+		TermPrefix: make(map[dna.Kmer]uint32),
+		TermSuffix: make(map[dna.Kmer]uint32),
+	}
+	for _, sh := range sc.Shards {
+		res.Kmers = append(res.Kmers, sh.Kmers...)
+		res.TotalExtracted += sh.TotalExtracted
+		res.PrunedKinds += sh.PrunedKinds
+		res.PrunedMass += sh.PrunedMass
+		for km, c := range sh.TermPrefix {
+			res.TermPrefix[km] += c
+		}
+		for km, c := range sh.TermSuffix {
+			res.TermSuffix[km] += c
+		}
+	}
+	sort.Slice(res.Kmers, func(i, j int) bool { return res.Kmers[i].Km < res.Kmers[j].Km })
+	return res
+}
+
+// OwnedKmers sums the distinct k-mers surviving on each node.
+func (sc *ShardedCount) OwnedKmers() int64 {
+	var t int64
+	for _, sh := range sc.Shards {
+		t += int64(len(sh.Kmers))
+	}
+	return t
+}
+
+// ShardGraphs is the outcome of distributed MacroNode construction: every
+// counted k-mer is shipped to the owners of its leading and trailing
+// (k-1)-mers (PaKman's second all-to-all), and each node builds the
+// MacroNodes it owns. The shard graphs tile the single-node PaK-graph:
+// their key sets partition it and every node is structurally identical.
+type ShardGraphs struct {
+	Graphs []*pakgraph.Graph
+	// GraphExchange[src][dst] is the construction-exchange traffic; a
+	// k-mer whose two key owners coincide is shipped once.
+	GraphExchange [][]int64
+	RecvPerNode   []int64 // construction records each node processes
+}
+
+// graphRec is one k-mer delivered to a key owner, with the roles it plays
+// there (a k-mer is a suffix extension of its leading (k-1)-mer's node and
+// a prefix extension of its trailing one's; both keys may be owned by the
+// same node).
+type graphRec struct {
+	km       dna.Kmer
+	count    uint32
+	sufAtPre bool // owner holds Prefix(km): add suffix extension
+	preAtSuf bool // owner holds Suffix(km): add prefix extension
+}
+
+// BuildShardGraphs runs distributed MacroNode construction over a sharded
+// count.
+func (sc *ShardedCount) BuildShardGraphs(cfg Config) (*ShardGraphs, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := sc.Nodes
+	p := cfg.Partitioner
+	sg := &ShardGraphs{
+		Graphs:        make([]*pakgraph.Graph, n),
+		GraphExchange: mat(n),
+		RecvPerNode:   make([]int64, n),
+	}
+	buckets := make([][][]graphRec, n) // [src][dst]
+	par.ForIdx(n, cfg.Workers, func(src int) {
+		bs := make([][]graphRec, n)
+		for _, kc := range sc.Shards[src].Kmers {
+			po := p.Owner(kc.Km.Prefix(), sc.K-1, n)
+			so := p.Owner(kc.Km.Suffix(sc.K), sc.K-1, n)
+			if po == so {
+				bs[po] = append(bs[po], graphRec{km: kc.Km, count: kc.Count, sufAtPre: true, preAtSuf: true})
+			} else {
+				bs[po] = append(bs[po], graphRec{km: kc.Km, count: kc.Count, sufAtPre: true})
+				bs[so] = append(bs[so], graphRec{km: kc.Km, count: kc.Count, preAtSuf: true})
+			}
+		}
+		buckets[src] = bs
+	})
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			sg.GraphExchange[src][dst] = int64(len(buckets[src][dst])) * graphRecordBytes
+		}
+	}
+	par.ForIdx(n, cfg.Workers, func(dst int) {
+		var recs []graphRec
+		for src := 0; src < n; src++ {
+			recs = append(recs, buckets[src][dst]...)
+		}
+		sg.RecvPerNode[dst] = int64(len(recs))
+		// Ascending k-mer order reproduces pakgraph.Build's insertion
+		// order within every owned node, so the shard graphs are
+		// structurally identical to the corresponding single-node slices.
+		sort.Slice(recs, func(i, j int) bool { return recs[i].km < recs[j].km })
+		g := &pakgraph.Graph{K: sc.K, Nodes: make(map[dna.Kmer]*pakgraph.MacroNode, len(recs))}
+		node := func(key dna.Kmer) *pakgraph.MacroNode {
+			mn := g.Nodes[key]
+			if mn == nil {
+				mn = &pakgraph.MacroNode{Key: key}
+				g.Nodes[key] = mn
+			}
+			return mn
+		}
+		for _, r := range recs {
+			if r.sufAtPre {
+				mn := node(r.km.Prefix())
+				pakgraph.AddExt(&mn.Suffixes, baseSeq(r.km.Last()), r.count, false)
+			}
+			if r.preAtSuf {
+				mn := node(r.km.Suffix(sc.K))
+				pakgraph.AddExt(&mn.Prefixes, baseSeq(r.km.First(sc.K)), r.count, false)
+			}
+		}
+		for _, mn := range g.Nodes {
+			mn.Rewire()
+		}
+		sg.Graphs[dst] = g
+	})
+	return sg, nil
+}
+
+// TotalMacroNodes sums the shard graph sizes; key ownership partitions the
+// global graph, so this equals the single-node pakgraph.Build node count.
+func (sg *ShardGraphs) TotalMacroNodes() int {
+	t := 0
+	for _, g := range sg.Graphs {
+		t += g.Len()
+	}
+	return t
+}
+
+var singleBase [4]dna.Seq
+
+func init() {
+	for b := 0; b < 4; b++ {
+		singleBase[b] = dna.FromBases([]dna.Base{dna.Base(b)})
+	}
+}
+
+func baseSeq(b dna.Base) dna.Seq { return singleBase[b&3] }
+
+func mat(n int) [][]int64 {
+	m := make([][]int64, n)
+	for i := range m {
+		m[i] = make([]int64, n)
+	}
+	return m
+}
+
+func max32(a, b uint32) uint32 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,119 @@
+package scaleout
+
+import (
+	"fmt"
+
+	"nmppak/internal/sim"
+)
+
+// LinkConfig models the inter-node interconnect: a full mesh of
+// point-to-point links where every node has one serializing egress port
+// and one serializing ingress port (store-and-forward). Contention is
+// modeled as link occupancy: a message holds its source's egress port for
+// bytes/BytesPerCycle cycles, travels LatencyCycles, then holds the
+// destination's ingress port for the same duration. This is the same
+// occupancy discipline internal/nmp uses for its DIMM-to-DIMM bridges,
+// lifted to node granularity.
+type LinkConfig struct {
+	LatencyCycles sim.Cycle // one-way message latency (1600 cy = 1 us at 1.6 GHz)
+	BytesPerCycle float64   // per-port bandwidth (15.625 B/cy = 25 GB/s)
+}
+
+// DefaultLink returns a 25 GB/s, 1 us full-mesh link — a 200 Gb/s-class
+// NIC with RDMA-ish latency.
+func DefaultLink() LinkConfig {
+	return LinkConfig{LatencyCycles: 1600, BytesPerCycle: 15.625}
+}
+
+// Validate checks the configuration.
+func (lc LinkConfig) Validate() error {
+	if lc.BytesPerCycle <= 0 {
+		return fmt.Errorf("scaleout: link bandwidth must be positive, got %v", lc.BytesPerCycle)
+	}
+	if lc.LatencyCycles < 0 {
+		return fmt.Errorf("scaleout: link latency must be non-negative, got %d", lc.LatencyCycles)
+	}
+	return nil
+}
+
+// ExchangeStats summarizes one all-to-all exchange.
+type ExchangeStats struct {
+	Cycles         sim.Cycle // completion time of the whole exchange
+	TotalBytes     int64     // bytes crossing the interconnect
+	MaxEgressBytes int64     // heaviest sender (the bandwidth bottleneck)
+	Messages       int64
+}
+
+// Exchange runs an all-to-all personalized exchange of bytes[src][dst]
+// over the interconnect and returns its completion time. Senders issue
+// their messages in the classic shifted schedule (node s sends to s+1,
+// s+2, ... mod n) so that early rounds do not all target the same
+// receiver; ingress contention is resolved in arrival order on the shared
+// event kernel, which keeps the result deterministic. Diagonal entries
+// (local data) cost nothing.
+func (lc LinkConfig) Exchange(n int, bytes [][]int64) ExchangeStats {
+	var st ExchangeStats
+	if n <= 1 {
+		return st
+	}
+	eng := &sim.Engine{}
+	egress := make([]sim.Cycle, n)
+	ingress := make([]sim.Cycle, n)
+	finish := sim.Cycle(0)
+	for src := 0; src < n; src++ {
+		for off := 1; off < n; off++ {
+			dst := (src + off) % n
+			b := bytes[src][dst]
+			if b <= 0 {
+				continue
+			}
+			st.TotalBytes += b
+			st.Messages++
+			dur := sim.Cycle(float64(b)/lc.BytesPerCycle) + 1
+			sent := egress[src] + dur
+			egress[src] = sent
+			d := dst
+			eng.At(sent+lc.LatencyCycles, func() {
+				slot := eng.Now()
+				if ingress[d] > slot {
+					slot = ingress[d]
+				}
+				ingress[d] = slot + dur
+				if ingress[d] > finish {
+					finish = ingress[d]
+				}
+			})
+		}
+		if egress[src] > finish {
+			finish = egress[src]
+		}
+	}
+	eng.Run()
+	st.Cycles = finish
+	for src := 0; src < n; src++ {
+		var eb int64
+		for dst := 0; dst < n; dst++ {
+			if dst != src {
+				eb += bytes[src][dst]
+			}
+		}
+		if eb > st.MaxEgressBytes {
+			st.MaxEgressBytes = eb
+		}
+	}
+	return st
+}
+
+// BarrierCycles is the cost of a full barrier across n nodes: a
+// reduce-then-broadcast tree of ceil(log2 n) message hops each way. A
+// single node synchronizes for free.
+func (lc LinkConfig) BarrierCycles(n int) sim.Cycle {
+	if n <= 1 {
+		return 0
+	}
+	hops := 0
+	for c := 1; c < n; c <<= 1 {
+		hops++
+	}
+	return 2 * sim.Cycle(hops) * lc.LatencyCycles
+}

@@ -1,0 +1,91 @@
+package scaleout
+
+import (
+	"fmt"
+
+	"nmppak/internal/dna"
+)
+
+// Partitioner assigns ownership of k-mers (during counting) and MacroNode
+// keys (during graph construction and compaction replay) to scale-out
+// nodes. Ownership must be a pure function of the key so that every node
+// computes the same assignment without coordination, exactly as PaKman's
+// MPI ranks do.
+type Partitioner interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Owner returns the owning node in [0, nodes) for a length-kk word.
+	Owner(key dna.Kmer, kk, nodes int) int
+}
+
+// mix64 is the splitmix64 finalizer, a cheap high-quality bit mixer.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// HashPartitioner owns a key by a hash of the full word — the maximally
+// balanced assignment (every key is an independent coin flip), at the cost
+// of scattering adjacent graph nodes across the machine, which makes
+// essentially all TransferNode traffic cross-node at large N.
+type HashPartitioner struct{}
+
+// Name implements Partitioner.
+func (HashPartitioner) Name() string { return "hash" }
+
+// Owner implements Partitioner.
+func (HashPartitioner) Owner(key dna.Kmer, kk, nodes int) int {
+	if nodes <= 1 {
+		return 0
+	}
+	return int(mix64(uint64(key)) % uint64(nodes))
+}
+
+// MinimizerPartitioner owns a key by the hash of its minimizer: the m-mer
+// of the word with the smallest hashed value. Words sharing a minimizer —
+// in particular most consecutive k-mers of a read, and a MacroNode key
+// with most of its graph neighbors — land on the same node, trading some
+// load balance for communication locality.
+type MinimizerPartitioner struct {
+	M int // minimizer length; clamped to the word length
+}
+
+// NewMinimizerPartitioner returns a minimizer partitioner with m-mer
+// length m (the literature's common choice for k=32 is m in [8,16]).
+func NewMinimizerPartitioner(m int) MinimizerPartitioner {
+	if m < 1 {
+		m = 1
+	}
+	return MinimizerPartitioner{M: m}
+}
+
+// Name implements Partitioner.
+func (p MinimizerPartitioner) Name() string { return fmt.Sprintf("minimizer%d", p.M) }
+
+// Owner implements Partitioner.
+func (p MinimizerPartitioner) Owner(key dna.Kmer, kk, nodes int) int {
+	if nodes <= 1 {
+		return 0
+	}
+	return int(mix64(p.minimizer(key, kk)) % uint64(nodes))
+}
+
+// minimizer returns the hash-minimal m-mer of the kk-length word.
+func (p MinimizerPartitioner) minimizer(key dna.Kmer, kk int) uint64 {
+	m := p.M
+	if m >= kk {
+		return uint64(key)
+	}
+	mask := dna.KmerMask(m)
+	w := uint64(key)
+	best := ^uint64(0)
+	for i := 0; i+m <= kk; i++ {
+		mm := (w >> (2 * uint(kk-m-i))) & mask
+		if h := mix64(mm); h < best {
+			best = h
+		}
+	}
+	return best
+}

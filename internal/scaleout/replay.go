@@ -1,0 +1,93 @@
+package scaleout
+
+import (
+	"nmppak/internal/trace"
+)
+
+// ShardedTrace is a global compaction trace split by MacroNode-key
+// ownership: node i's sub-trace contains exactly the node visits, local
+// TransferNode routes and destination updates of the keys it owns, while
+// cross-node TransferNodes are lifted out of the sub-traces into a
+// per-iteration halo-exchange byte matrix. Every sub-trace keeps all
+// iterations (possibly empty) so the per-iteration lockstep of the
+// distributed runtime lines up across nodes.
+type ShardedTrace struct {
+	Nodes  int
+	Traces []*trace.Trace
+	// Halo[it][src][dst] is the TransferNode bytes crossing from node src
+	// to node dst during iteration it.
+	Halo [][][]int64
+
+	LocalTNs  int64 // TransferNodes whose source and destination share a node
+	RemoteTNs int64 // TransferNodes crossing the interconnect
+	HaloBytes int64
+}
+
+// ShardTrace splits tr across n nodes under partitioner p. With n == 1 the
+// single sub-trace reproduces tr exactly (same nodes, transfers, updates
+// and quantile tables), which is what pins the N=1 scale-out result to the
+// single-node nmp.Simulate outcome.
+func ShardTrace(tr *trace.Trace, n int, p Partitioner) *ShardedTrace {
+	k1 := tr.K - 1
+	st := &ShardedTrace{
+		Nodes:  n,
+		Traces: make([]*trace.Trace, n),
+		Halo:   make([][][]int64, len(tr.Iterations)),
+	}
+	for i := range st.Traces {
+		st.Traces[i] = &trace.Trace{K: tr.K}
+	}
+	for it := range tr.Iterations {
+		iter := &tr.Iterations[it]
+		st.Halo[it] = mat(n)
+
+		owner := make([]int, len(iter.Nodes))
+		local := make([]int32, len(iter.Nodes))
+		subs := make([]trace.Iteration, n)
+		for i := range iter.Nodes {
+			o := p.Owner(iter.Nodes[i].Key, k1, n)
+			owner[i] = o
+			local[i] = int32(len(subs[o].Nodes))
+			subs[o].Nodes = append(subs[o].Nodes, iter.Nodes[i])
+		}
+		for _, tn := range iter.Transfers {
+			s, d := owner[tn.SrcIdx], owner[tn.DstIdx]
+			if s == d {
+				st.LocalTNs++
+				subs[s].Transfers = append(subs[s].Transfers, trace.TransferOp{
+					SrcIdx: local[tn.SrcIdx], DstIdx: local[tn.DstIdx],
+					TNBytes: tn.TNBytes, SuffixSide: tn.SuffixSide,
+				})
+				continue
+			}
+			st.RemoteTNs++
+			st.Halo[it][s][d] += int64(tn.TNBytes)
+			st.HaloBytes += int64(tn.TNBytes)
+		}
+		for _, u := range iter.Updates {
+			o := owner[u.DstIdx]
+			subs[o].Updates = append(subs[o].Updates, trace.UpdateOp{
+				DstIdx: local[u.DstIdx], ReadBytes: u.ReadBytes, WriteBytes: u.WriteBytes,
+			})
+		}
+		for o := 0; o < n; o++ {
+			subs[o].Stats = iter.Stats
+			subs[o].Quantiles = trace.BuildQuantiles(subs[o].Nodes)
+			if it == 0 {
+				st.Traces[o].Quantiles = subs[o].Quantiles
+			}
+			st.Traces[o].Iterations = append(st.Traces[o].Iterations, subs[o])
+		}
+	}
+	return st
+}
+
+// RemoteTNFrac is the fraction of all TransferNodes that cross the
+// interconnect.
+func (st *ShardedTrace) RemoteTNFrac() float64 {
+	t := st.LocalTNs + st.RemoteTNs
+	if t == 0 {
+		return 0
+	}
+	return float64(st.RemoteTNs) / float64(t)
+}

@@ -1,0 +1,308 @@
+// Package scaleout models a multi-node NMP-PaK deployment: N virtual
+// nodes, each a full single-node system (channels, PEs, host CPU —
+// internal/nmp's model), joined by a full-mesh interconnect
+// (LinkConfig). The paper evaluates one NMP node against a 1,024-node
+// PaKman supercomputer run (§6.4); PaKman itself is natively an MPI
+// assembler, and this package supplies the missing scale-out story by
+// simulating its distributed structure end to end:
+//
+//  1. Reads are split round-robin across nodes; each node extracts and
+//     pre-aggregates k-mers, ships partial counts to their hash- or
+//     minimizer-determined owners (all-to-all #1), and the owners merge
+//     and prune. The per-node results tile the single-node kmer.Count
+//     output exactly (see CountSharded/Merge).
+//  2. Counted k-mers travel to the owners of their boundary (k-1)-mers
+//     (all-to-all #2) and every node builds the MacroNodes it owns
+//     (BuildShardGraphs).
+//  3. Iterative Compaction replays in per-iteration lockstep, BSP style:
+//     each node runs its shard of the global trace on its own
+//     internal/nmp system, cross-node TransferNodes are exchanged over
+//     the interconnect at the iteration boundary (halo exchange), and a
+//     log-tree barrier closes the iteration — the distributed analogue
+//     of the paper's "both the CPU and NMP engines must operate on the
+//     same iteration in lockstep".
+//
+// Timing is fully deterministic: software phases use an instruction-count
+// model over exact operation counts, exchanges run on the internal/sim
+// event kernel, and the per-node replays are internal/nmp simulations.
+// With Nodes == 1 every exchange is empty and the compaction phase equals
+// the single-node nmp.Simulate result cycle for cycle.
+package scaleout
+
+import (
+	"fmt"
+	"math"
+
+	"nmppak/internal/nmp"
+	"nmppak/internal/par"
+	"nmppak/internal/readsim"
+	"nmppak/internal/sim"
+	"nmppak/internal/trace"
+)
+
+// SoftwareModel prices the software pipeline stages (counting, merging,
+// MacroNode construction) in 1.6 GHz cycles per unit of work. These are
+// the scale-out analogue of cpumodel's per-node compute constants.
+type SoftwareModel struct {
+	ExtractCyclesPerKmer     float64 // sliding-window extraction, per instance
+	SortCyclesPerKmer        float64 // local sort, per instance per log2(n)
+	MergeCyclesPerRecord     float64 // owner-side merge of partial counts
+	ConstructCyclesPerRecord float64 // MacroNode hash insert + extension merge
+}
+
+// DefaultSoftwareModel returns constants calibrated to the optimized
+// (§4.5) software pipeline.
+func DefaultSoftwareModel() SoftwareModel {
+	return SoftwareModel{
+		ExtractCyclesPerKmer:     4,
+		SortCyclesPerKmer:        0.5,
+		MergeCyclesPerRecord:     2,
+		ConstructCyclesPerRecord: 24,
+	}
+}
+
+// Config parameterizes a scale-out simulation.
+type Config struct {
+	Nodes    int
+	K        int
+	MinCount uint32
+	// Workers bounds host parallelism while running the real sharded
+	// software (not modeled time); <=0 means GOMAXPROCS.
+	Workers int
+
+	Partitioner Partitioner
+	Link        LinkConfig
+	// NMP is the per-node hardware model; every virtual node runs a full
+	// copy.
+	NMP      nmp.Config
+	Software SoftwareModel
+}
+
+// DefaultConfig returns an n-node system of paper-default NMP nodes
+// joined by the default 25 GB/s mesh, hash-partitioned.
+func DefaultConfig(n int) Config {
+	return Config{
+		Nodes:       n,
+		K:           32,
+		MinCount:    3,
+		Partitioner: HashPartitioner{},
+		Link:        DefaultLink(),
+		NMP:         nmp.DefaultConfig(),
+		Software:    DefaultSoftwareModel(),
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Nodes < 1 {
+		return fmt.Errorf("scaleout: Nodes must be >= 1, got %d", c.Nodes)
+	}
+	if c.Partitioner == nil {
+		return fmt.Errorf("scaleout: Partitioner must be set")
+	}
+	if err := c.Link.Validate(); err != nil {
+		return err
+	}
+	return c.NMP.Validate()
+}
+
+// PhaseCycles splits one pipeline phase into compute (slowest node),
+// interconnect exchange, and barrier time.
+type PhaseCycles struct {
+	Compute  sim.Cycle
+	Exchange sim.Cycle
+	Barrier  sim.Cycle
+}
+
+// Total sums the phase.
+func (p PhaseCycles) Total() sim.Cycle { return p.Compute + p.Exchange + p.Barrier }
+
+// NodeStats is one virtual node's share of the work.
+type NodeStats struct {
+	Reads          int
+	KmersExtracted int64
+	KmersOwned     int
+	MacroNodes     int
+	CompactCycles  sim.Cycle // summed per-iteration busy time of this node
+}
+
+// Result is a scale-out simulation outcome.
+type Result struct {
+	Nodes       int
+	Partitioner string
+
+	Count     PhaseCycles // distributed k-mer counting
+	Construct PhaseCycles // distributed MacroNode construction
+	Compact   PhaseCycles // lockstep Iterative Compaction replay
+
+	TotalCycles sim.Cycle
+	Seconds     float64
+
+	// Communication accounting (exchanges + interconnect barriers).
+	CommCycles     sim.Cycle
+	CommFraction   float64
+	ExchangedBytes int64
+	HaloBytes      int64
+	RemoteTNFrac   float64
+
+	// Imbalance is the slowest node's summed per-iteration compaction
+	// time over the mean (1.0 = perfectly balanced).
+	Imbalance float64
+
+	PerNode []NodeStats
+	// NMP holds the per-node replay results (index = node).
+	NMP []*nmp.Result
+}
+
+// Speedup computes r's speedup over a baseline (typically the 1-node run
+// of the same workload).
+func (r *Result) Speedup(base *Result) float64 {
+	if r.TotalCycles == 0 {
+		return 0
+	}
+	return float64(base.TotalCycles) / float64(r.TotalCycles)
+}
+
+// Efficiency is Speedup divided by the node ratio.
+func (r *Result) Efficiency(base *Result) float64 {
+	return r.Speedup(base) * float64(base.Nodes) / float64(r.Nodes)
+}
+
+// String renders a short summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("scaleout: %d nodes (%s), %.3f ms total, comm %.1f%%, remote TNs %.1f%%, imbalance %.2f",
+		r.Nodes, r.Partitioner, r.Seconds*1e3, r.CommFraction*100, r.RemoteTNFrac*100, r.Imbalance)
+}
+
+// Simulate runs the full scale-out pipeline: distributed counting and
+// MacroNode construction over reads (real software, modeled time) and the
+// lockstep compaction replay of tr (captured once from the single-node
+// execution, e.g. via nmppak.CaptureTrace or the experiments Context).
+func Simulate(reads []readsim.Read, tr *trace.Trace, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if tr == nil {
+		return nil, fmt.Errorf("scaleout: nil trace")
+	}
+	if tr.K != cfg.K {
+		return nil, fmt.Errorf("scaleout: trace k=%d but config K=%d", tr.K, cfg.K)
+	}
+	n := cfg.Nodes
+	sw := cfg.Software
+	res := &Result{Nodes: n, Partitioner: cfg.Partitioner.Name(), PerNode: make([]NodeStats, n)}
+
+	// Phase 1: distributed counting.
+	sc, err := CountSharded(reads, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var extract, merge sim.Cycle
+	for i := 0; i < n; i++ {
+		e := sc.ExtractedPerNode[i]
+		c := sim.Cycle(sw.ExtractCyclesPerKmer*float64(e) + sw.SortCyclesPerKmer*float64(e)*log2(e))
+		if c > extract {
+			extract = c
+		}
+		m := sim.Cycle(sw.MergeCyclesPerRecord * float64(sc.RecordsToNode[i]))
+		if m > merge {
+			merge = m
+		}
+		res.PerNode[i].Reads = sc.ReadsPerNode[i]
+		res.PerNode[i].KmersExtracted = e
+		res.PerNode[i].KmersOwned = len(sc.Shards[i].Kmers)
+	}
+	cx := cfg.Link.Exchange(n, sc.CountExchange)
+	res.Count = PhaseCycles{Compute: extract + merge, Exchange: cx.Cycles, Barrier: cfg.Link.BarrierCycles(n)}
+	res.ExchangedBytes += cx.TotalBytes
+
+	// Phase 2: distributed MacroNode construction.
+	sg, err := sc.BuildShardGraphs(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var construct sim.Cycle
+	for i := 0; i < n; i++ {
+		c := sim.Cycle(sw.ConstructCyclesPerRecord * float64(sg.RecvPerNode[i]))
+		if c > construct {
+			construct = c
+		}
+		res.PerNode[i].MacroNodes = sg.Graphs[i].Len()
+	}
+	gx := cfg.Link.Exchange(n, sg.GraphExchange)
+	res.Construct = PhaseCycles{Compute: construct, Exchange: gx.Cycles, Barrier: cfg.Link.BarrierCycles(n)}
+	res.ExchangedBytes += gx.TotalBytes
+
+	// Phase 3: lockstep compaction replay. Each node replays its shard of
+	// the trace on its own NMP system; the slowest node paces every
+	// iteration, the iteration's halo exchange follows, and the iteration
+	// closes with the runtime's sync barrier plus the interconnect
+	// barrier.
+	st := ShardTrace(tr, n, cfg.Partitioner)
+	res.HaloBytes = st.HaloBytes
+	res.RemoteTNFrac = st.RemoteTNFrac()
+	res.NMP = make([]*nmp.Result, n)
+	errs := make([]error, n)
+	par.ForIdx(n, cfg.Workers, func(i int) {
+		res.NMP[i], errs[i] = nmp.Simulate(st.Traces[i], cfg.NMP)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	iters := len(tr.Iterations)
+	var compactCompute, compactExchange sim.Cycle
+	for it := 0; it < iters; it++ {
+		var slowest sim.Cycle
+		for i := 0; i < n; i++ {
+			d := res.NMP[i].PerIter[it].End - res.NMP[i].PerIter[it].Start
+			res.PerNode[i].CompactCycles += d
+			if d > slowest {
+				slowest = d
+			}
+		}
+		compactCompute += slowest
+		hx := cfg.Link.Exchange(n, st.Halo[it])
+		compactExchange += hx.Cycles
+		res.ExchangedBytes += hx.TotalBytes
+	}
+	var compactLinkBarrier, compactSyncBarrier sim.Cycle
+	if iters > 1 {
+		compactLinkBarrier = sim.Cycle(iters-1) * cfg.Link.BarrierCycles(n)
+		compactSyncBarrier = sim.Cycle(iters-1) * cfg.NMP.SyncBarrierCycles
+	}
+	res.Compact = PhaseCycles{Compute: compactCompute, Exchange: compactExchange,
+		Barrier: compactLinkBarrier + compactSyncBarrier}
+
+	res.TotalCycles = res.Count.Total() + res.Construct.Total() + res.Compact.Total()
+	res.Seconds = sim.Seconds(res.TotalCycles)
+	// Communication = interconnect time: the exchanges plus the
+	// interconnect share of every barrier (the NMP runtime's own sync
+	// barrier exists on a single node too, so it stays out).
+	res.CommCycles = res.Count.Exchange + res.Construct.Exchange + res.Compact.Exchange +
+		res.Count.Barrier + res.Construct.Barrier + compactLinkBarrier
+	if res.TotalCycles > 0 {
+		res.CommFraction = float64(res.CommCycles) / float64(res.TotalCycles)
+	}
+	var sum sim.Cycle
+	var slowest sim.Cycle
+	for i := 0; i < n; i++ {
+		sum += res.PerNode[i].CompactCycles
+		if res.PerNode[i].CompactCycles > slowest {
+			slowest = res.PerNode[i].CompactCycles
+		}
+	}
+	if sum > 0 {
+		res.Imbalance = float64(slowest) * float64(n) / float64(sum)
+	}
+	return res, nil
+}
+
+// log2 returns log base 2 of x, 0 for x < 2.
+func log2(x int64) float64 {
+	if x < 2 {
+		return 0
+	}
+	return math.Log2(float64(x))
+}

@@ -64,3 +64,31 @@ func TestPending(t *testing.T) {
 		t.Fatal("pending after run")
 	}
 }
+
+// BenchmarkEventKernel is the perf baseline for scheduler work: a
+// self-refilling event population (as the hardware models produce) with a
+// scattered timestamp pattern, exercising heap push/pop and the FIFO
+// tie-break.
+func BenchmarkEventKernel(b *testing.B) {
+	const window = 512
+	b.ReportAllocs()
+	for b.Loop() {
+		var e Engine
+		n := 0
+		var spawn func()
+		spawn = func() {
+			n++
+			if n >= 100_000 {
+				return
+			}
+			// Two children at pseudo-random offsets keep the heap near
+			// the window size without shrinking to a trivial population.
+			if n%2 == 0 {
+				e.After(Cycle(n*7919%window)+1, spawn)
+			}
+			e.After(Cycle(n*104729%window)+1, spawn)
+		}
+		e.At(0, spawn)
+		e.Run()
+	}
+}

@@ -203,7 +203,7 @@ func (b *Builder) EndIteration(st compact.IterStats) {
 		})
 	}
 	b.cur.Stats = st
-	b.cur.Quantiles = buildQuantiles(b.cur.Nodes)
+	b.cur.Quantiles = BuildQuantiles(b.cur.Nodes)
 	if len(b.trace.Iterations) == 0 {
 		b.trace.Quantiles = b.cur.Quantiles
 	}
@@ -211,9 +211,10 @@ func (b *Builder) EndIteration(st compact.IterStats) {
 	b.cur = nil
 }
 
-// buildQuantiles derives a DIMM mapping table from an iteration's key
-// population (nodes arrive in ascending key order).
-func buildQuantiles(nodes []NodeOp) []dna.Kmer {
+// BuildQuantiles derives a DIMM mapping table from an iteration's key
+// population (nodes arrive in ascending key order). It is exported for
+// internal/scaleout, which rebuilds per-node tables after sharding a trace.
+func BuildQuantiles(nodes []NodeOp) []dna.Kmer {
 	const buckets = 256
 	n := len(nodes)
 	if n == 0 {

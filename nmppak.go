@@ -28,6 +28,7 @@ import (
 	"nmppak/internal/nmp"
 	"nmppak/internal/pakgraph"
 	"nmppak/internal/readsim"
+	"nmppak/internal/scaleout"
 	"nmppak/internal/trace"
 )
 
@@ -64,6 +65,10 @@ type (
 	GPUConfig = gpumodel.Config
 	// GPUResult is the GPU model outcome.
 	GPUResult = gpumodel.Result
+	// ScaleOutConfig parameterizes the multi-node scale-out simulator.
+	ScaleOutConfig = scaleout.Config
+	// ScaleOutResult is the scale-out simulation outcome.
+	ScaleOutResult = scaleout.Result
 )
 
 // GenerateGenome synthesizes a reference genome.
@@ -115,6 +120,19 @@ func DefaultGPUConfig() GPUConfig { return gpumodel.A100_40GB() }
 
 // SimulateGPU replays a compaction trace on the GPU baseline model.
 func SimulateGPU(tr *Trace, cfg GPUConfig) (*GPUResult, error) { return gpumodel.Simulate(tr, cfg) }
+
+// DefaultScaleOutConfig returns an n-node scale-out system: paper-default
+// NMP nodes joined by a 25 GB/s full-mesh interconnect, hash-partitioned.
+func DefaultScaleOutConfig(nodes int) ScaleOutConfig { return scaleout.DefaultConfig(nodes) }
+
+// SimulateScaleOut runs the sharded multi-node pipeline — distributed
+// k-mer counting, distributed MacroNode construction, and a lockstep
+// per-iteration replay of the compaction trace with halo exchange —
+// returning per-phase and per-node timing. With nodes == 1 the compaction
+// phase equals SimulateNMP on the same trace exactly.
+func SimulateScaleOut(reads []Read, tr *Trace, cfg ScaleOutConfig) (*ScaleOutResult, error) {
+	return scaleout.Simulate(reads, tr, cfg)
+}
 
 // ParseSeq parses an ASCII DNA string.
 func ParseSeq(s string) (Seq, error) { return dna.ParseSeq(s) }
