@@ -1,234 +1,70 @@
 // Benchmarks regenerating each table and figure of the paper's evaluation
 // on the quick workload (one benchmark per artifact; see DESIGN.md §3 for
-// the experiment index and cmd/experiments for full-scale runs).
+// the experiment index and cmd/experiments for full-scale runs). The
+// bodies live in internal/benchsuite so cmd/bench can replay the exact
+// same code when regenerating the BENCH_*.json regression baseline.
 package nmppak_test
 
 import (
-	"sync"
 	"testing"
 
-	"nmppak/internal/cpumodel"
-	"nmppak/internal/experiments"
-	"nmppak/internal/gpumodel"
-	"nmppak/internal/nmp"
-	"nmppak/internal/trace"
+	"nmppak/internal/benchsuite"
 )
-
-var (
-	benchOnce sync.Once
-	benchCtx  *experiments.Context
-	benchTr   *trace.Trace
-)
-
-func setup(b *testing.B) (*experiments.Context, *trace.Trace) {
-	b.Helper()
-	benchOnce.Do(func() {
-		c, err := experiments.NewContext(experiments.QuickWorkload())
-		if err != nil {
-			b.Fatal(err)
-		}
-		tr, err := c.Trace()
-		if err != nil {
-			b.Fatal(err)
-		}
-		benchCtx, benchTr = c, tr
-	})
-	return benchCtx, benchTr
-}
 
 // BenchmarkFig5Breakdown measures the end-to-end software pipeline whose
 // stage split is Fig. 5.
-func BenchmarkFig5Breakdown(b *testing.B) {
-	c, _ := setup(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig5(c); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkFig5Breakdown(b *testing.B) { benchsuite.Run(b, "Fig5Breakdown") }
 
 // BenchmarkFig6StallModel measures the CPU stall-attribution model run.
-func BenchmarkFig6StallModel(b *testing.B) {
-	_, tr := setup(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := cpumodel.Simulate(tr, cpumodel.DefaultConfig()); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkFig6StallModel(b *testing.B) { benchsuite.Run(b, "Fig6StallModel") }
 
 // BenchmarkFig7SizeDistribution measures the instrumented-compaction size
 // histogram extraction (Figs. 7 and 8 share the trace).
-func BenchmarkFig7SizeDistribution(b *testing.B) {
-	c, _ := setup(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig7(c); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkFig7SizeDistribution(b *testing.B) { benchsuite.Run(b, "Fig7SizeDistribution") }
 
 // BenchmarkFig8OversizeProportion measures the per-iteration threshold
 // scan of Fig. 8.
-func BenchmarkFig8OversizeProportion(b *testing.B) {
-	c, _ := setup(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig8(c); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkFig8OversizeProportion(b *testing.B) { benchsuite.Run(b, "Fig8OversizeProportion") }
 
 // BenchmarkTable1BatchSweep measures one batched assembly (the Table 1
 // sweep's 10%-batch point).
-func BenchmarkTable1BatchSweep(b *testing.B) {
-	c, _ := setup(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := c.Assemble(10, 0); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkTable1BatchSweep(b *testing.B) { benchsuite.Run(b, "Table1BatchSweep") }
 
 // BenchmarkFig12NMP measures the NMP-PaK hardware simulation (the headline
 // Fig. 12 bar).
-func BenchmarkFig12NMP(b *testing.B) {
-	_, tr := setup(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := nmp.Simulate(tr, nmp.DefaultConfig()); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkFig12NMP(b *testing.B) { benchsuite.Run(b, "Fig12NMP") }
 
 // BenchmarkFig12GPU measures the GPU baseline model (Fig. 12/§6.6).
-func BenchmarkFig12GPU(b *testing.B) {
-	_, tr := setup(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := gpumodel.Simulate(tr, gpumodel.A100_40GB()); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkFig12GPU(b *testing.B) { benchsuite.Run(b, "Fig12GPU") }
 
 // BenchmarkFig13Utilization exercises the utilization accounting path
 // (Fig. 13 derives from the same runs as Fig. 12).
-func BenchmarkFig13Utilization(b *testing.B) {
-	_, tr := setup(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		res, err := nmp.Simulate(tr, nmp.DefaultConfig())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if res.Utilization <= 0 {
-			b.Fatal("no utilization")
-		}
-	}
-}
+func BenchmarkFig13Utilization(b *testing.B) { benchsuite.Run(b, "Fig13Utilization") }
 
 // BenchmarkFig14Traffic measures the logical flow-traffic accounting of
 // Fig. 14 over the trace.
-func BenchmarkFig14Traffic(b *testing.B) {
-	c, tr := setup(b)
-	_ = tr
-	runs := &experiments.SystemRuns{}
-	var err error
-	runs.CPUBaseline, err = cpumodel.Simulate(benchTr, cpumodel.DefaultConfig())
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig14(c, runs); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkFig14Traffic(b *testing.B) { benchsuite.Run(b, "Fig14Traffic") }
 
 // BenchmarkFig15PESweep measures one point of the PE/channel sensitivity
 // sweep (16 PEs).
-func BenchmarkFig15PESweep(b *testing.B) {
-	_, tr := setup(b)
-	cfg := nmp.DefaultConfig()
-	cfg.PEsPerChannel = 16
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := nmp.Simulate(tr, cfg); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkFig15PESweep(b *testing.B) { benchsuite.Run(b, "Fig15PESweep") }
 
 // BenchmarkTable3AreaPower measures the area/power model (Table 3).
-func BenchmarkTable3AreaPower(b *testing.B) {
-	c, _ := setup(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Table3(c); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkTable3AreaPower(b *testing.B) { benchsuite.Run(b, "Table3AreaPower") }
 
 // BenchmarkCommSplit measures the §6.3 communication-split simulation.
-func BenchmarkCommSplit(b *testing.B) {
-	_, tr := setup(b)
-	cfg := nmp.DefaultConfig()
-	cfg.PEsPerChannel = 16
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		res, err := nmp.Simulate(tr, cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if res.TNInterDIMM == 0 {
-			b.Fatal("no routing")
-		}
-	}
-}
+func BenchmarkCommSplit(b *testing.B) { benchsuite.Run(b, "CommSplit") }
 
 // BenchmarkFootprint measures the §3.5/§4.4 footprint accounting.
-func BenchmarkFootprint(b *testing.B) {
-	c, _ := setup(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Footprint(c); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkFootprint(b *testing.B) { benchsuite.Run(b, "Footprint") }
 
 // BenchmarkAblationStaticMapping measures the static-DIMM-mapping ablation
 // configuration (the per-iteration remap's counterfactual).
-func BenchmarkAblationStaticMapping(b *testing.B) {
-	_, tr := setup(b)
-	cfg := nmp.DefaultConfig()
-	cfg.StaticMapping = true
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := nmp.Simulate(tr, cfg); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkAblationStaticMapping(b *testing.B) { benchsuite.Run(b, "AblationStaticMapping") }
 
 // BenchmarkAblationNoHybrid measures NMP-PaK with CPU offload disabled.
-func BenchmarkAblationNoHybrid(b *testing.B) {
-	_, tr := setup(b)
-	cfg := nmp.DefaultConfig()
-	cfg.HybridThresholdBytes = 0
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := nmp.Simulate(tr, cfg); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkAblationNoHybrid(b *testing.B) { benchsuite.Run(b, "AblationNoHybrid") }
+
+// BenchmarkKmerCount measures one optimized counting pass over the quick
+// workload's reads (the §4.5 software path in isolation).
+func BenchmarkKmerCount(b *testing.B) { benchsuite.Run(b, "KmerCount") }

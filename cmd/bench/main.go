@@ -1,0 +1,122 @@
+// Command bench replays the repository benchmark suite (the same bodies
+// `go test -bench` runs, hosted in internal/benchsuite) through
+// testing.Benchmark and writes a machine-readable JSON baseline, giving
+// every PR a recorded perf datum to be judged against:
+//
+//	go run ./cmd/bench -out BENCH_PR2.json            # full run
+//	go run ./cmd/bench -bench 'Fig5|EventKernel'      # subset
+//	go run ./cmd/bench -benchtime 1x -out /dev/null   # smoke test
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"testing"
+	"time"
+
+	"nmppak/internal/benchsuite"
+)
+
+type record struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+}
+
+type baseline struct {
+	Schema     string   `json:"schema"`
+	Generated  string   `json:"generated"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	BenchTime  string   `json:"benchtime"`
+	Benchmarks []record `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR2.json", "output JSON path ('-' for stdout only)")
+	benchRe := flag.String("bench", ".", "regexp selecting benchmark names")
+	benchtime := flag.String("benchtime", "2s", "per-benchmark time budget (Go test -benchtime syntax)")
+	list := flag.Bool("list", false, "list benchmark names and exit")
+	testing.Init()
+	flag.Parse()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: bad -benchtime %q: %v\n", *benchtime, err)
+		os.Exit(2)
+	}
+
+	suite := benchsuite.Suite()
+	if *list {
+		for _, c := range suite {
+			fmt.Println(c.Name)
+		}
+		return
+	}
+	re, err := regexp.Compile(*benchRe)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: bad -bench regexp: %v\n", err)
+		os.Exit(2)
+	}
+
+	base := baseline{
+		Schema:     "nmppak-bench/v1",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		BenchTime:  *benchtime,
+	}
+	failed := false
+	for _, c := range suite {
+		if !re.MatchString(c.Name) {
+			continue
+		}
+		r := testing.Benchmark(c.F)
+		if r.N == 0 {
+			fmt.Fprintf(os.Stderr, "bench: %s failed\n", c.Name)
+			failed = true
+			continue
+		}
+		rec := record{
+			Name:        c.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if r.Bytes > 0 && r.T > 0 {
+			rec.MBPerSec = float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
+		}
+		base.Benchmarks = append(base.Benchmarks, rec)
+		fmt.Printf("%-24s %12.0f ns/op %12d B/op %10d allocs/op\n",
+			c.Name, rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp)
+	}
+
+	buf, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out != "-" {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: write %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(base.Benchmarks))
+	} else {
+		os.Stdout.Write(buf)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -19,25 +19,30 @@ import (
 // It returns the number of updates dropped because their match extension
 // was not present (zero on structurally consistent graphs; asserted by
 // tests).
+//
+// Apply runs once per update target per compaction iteration — the P3 hot
+// path — so the side split, match grouping and wire scratch work through
+// stack-backed index buffers over the shared updates slice instead of
+// copying updates into per-side and per-group slices.
 func Apply(n *pakgraph.MacroNode, updates []Update) (dropped int) {
-	var suf, pre []Update
-	for _, u := range updates {
-		if u.SuffixSide {
-			suf = append(suf, u)
-		} else {
-			pre = append(pre, u)
-		}
-	}
-	dropped += applySide(n, true, suf)
-	dropped += applySide(n, false, pre)
+	dropped += applySide(n, true, updates)
+	dropped += applySide(n, false, updates)
 	normalize(n)
 	return dropped
 }
 
 // applySide performs the replacement on one side's extension list and
-// redistributes the wires referencing each consumed extension.
+// redistributes the wires referencing each consumed extension; updates on
+// the other side are skipped.
 func applySide(n *pakgraph.MacroNode, suffixSide bool, updates []Update) (dropped int) {
-	if len(updates) == 0 {
+	any := false
+	for i := range updates {
+		if updates[i].SuffixSide == suffixSide {
+			any = true
+			break
+		}
+	}
+	if !any {
 		return 0
 	}
 	exts := &n.Suffixes
@@ -51,49 +56,80 @@ func applySide(n *pakgraph.MacroNode, suffixSide bool, updates []Update) (droppe
 		return &w.P
 	}
 	origLen := len(*exts)
-	consumed := make([]bool, origLen)
-
-	// Group updates by their match extension, preserving order.
-	type group struct {
-		match dna.Seq
-		ups   []Update
+	// Scratch stays on the stack for typical node and update-batch sizes.
+	var cbuf [32]bool
+	var consumed []bool
+	if origLen <= len(cbuf) {
+		consumed = cbuf[:origLen]
+	} else {
+		consumed = make([]bool, origLen)
 	}
-	var groups []group
-	for _, u := range updates {
-		found := false
-		for gi := range groups {
-			if groups[gi].match.Equal(u.Match) {
-				groups[gi].ups = append(groups[gi].ups, u)
-				found = true
+
+	// Group this side's updates by their match extension, preserving
+	// order: matches[g] is group g's match sequence and gids[i] the group
+	// of updates[i] (-1 for the other side's updates).
+	var mbuf [8]dna.Seq
+	var gbuf [16]int32
+	matches := mbuf[:0]
+	gids := gbuf[:0]
+	if len(updates) > cap(gids) {
+		gids = make([]int32, 0, len(updates))
+	}
+	for i := range updates {
+		if updates[i].SuffixSide != suffixSide {
+			gids = append(gids, -1)
+			continue
+		}
+		gi := int32(-1)
+		for m := range matches {
+			if matches[m].Equal(updates[i].Match) {
+				gi = int32(m)
 				break
 			}
 		}
-		if !found {
-			groups = append(groups, group{match: u.Match, ups: []Update{u}})
+		if gi < 0 {
+			gi = int32(len(matches))
+			matches = append(matches, updates[i].Match)
 		}
+		gids = append(gids, gi)
 	}
 
-	for _, grp := range groups {
+	var ibuf [8]int32
+	var rbuf [8]uint32
+	var wbuf [8]pakgraph.Wire
+	newIdx := ibuf[:0]
+	newRem := rbuf[:0]
+	rebuilt := wbuf[:0]
+	for g := range matches {
+		gi := int32(g)
 		// Locate the (unique, non-terminal) extension equal to the match
 		// among the original entries.
 		j := -1
 		for i := 0; i < origLen; i++ {
-			e := (*exts)[i]
-			if !e.Terminal && !consumed[i] && e.Seq.Equal(grp.match) {
+			e := &(*exts)[i]
+			if !e.Terminal && !consumed[i] && e.Seq.Equal(matches[g]) {
 				j = i
 				break
 			}
 		}
 		if j < 0 {
-			dropped += len(grp.ups)
+			for i := range gids {
+				if gids[i] == gi {
+					dropped++
+				}
+			}
 			continue
 		}
 		consumed[j] = true
 
-		// Append the replacement extensions.
-		newIdx := make([]int32, 0, len(grp.ups))
-		newRem := make([]uint32, 0, len(grp.ups))
-		for _, u := range grp.ups {
+		// Append the replacement extensions (in update order).
+		newIdx = newIdx[:0]
+		newRem = newRem[:0]
+		for i := range updates {
+			if gids[i] != gi {
+				continue
+			}
+			u := &updates[i]
 			*exts = append(*exts, pakgraph.Ext{Seq: u.NewSeq, Count: u.Count, Weight: u.Weight, Terminal: u.NewTerminal})
 			newIdx = append(newIdx, int32(len(*exts)-1))
 			newRem = append(newRem, u.Count)
@@ -102,7 +138,7 @@ func applySide(n *pakgraph.MacroNode, suffixSide bool, updates []Update) (droppe
 		// Redistribute the wires that referenced j across the replacements
 		// with a count-matching two-pointer sweep (same scheme as Rewire).
 		// Old wires are zeroed; their traffic reappears as fresh wires.
-		var rebuilt []pakgraph.Wire
+		rebuilt = rebuilt[:0]
 		ni := 0
 		for wi := range n.Wires {
 			w := &n.Wires[wi]

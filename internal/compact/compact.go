@@ -33,6 +33,7 @@ package compact
 
 import (
 	"fmt"
+	"slices"
 
 	"nmppak/internal/dna"
 	"nmppak/internal/pakgraph"
@@ -132,6 +133,19 @@ func Run(g *pakgraph.Graph, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("compact: invalid graph k=%d", g.K)
 	}
 	res := &Result{}
+	// Compaction only ever deletes nodes, so the ascending key order every
+	// iteration sweeps in can be computed once and filtered incrementally —
+	// the per-iteration re-sort the sequential algorithm performed is pure
+	// overhead. Likewise, a node's P1 decision and data1/data2 sizes depend
+	// only on its own extensions, and the only nodes an iteration mutates
+	// are the update targets — so both are cached across iterations and
+	// recomputed just for the nodes the previous iteration touched.
+	keys := g.SortedKeys()
+	states := make([]nodeState, len(keys))
+	nodes := make([]*pakgraph.MacroNode, len(keys))
+	for i, key := range keys {
+		nodes[i] = g.Nodes[key]
+	}
 	for iter := 0; ; iter++ {
 		if opt.MaxIters > 0 && iter >= opt.MaxIters {
 			break
@@ -139,7 +153,8 @@ func Run(g *pakgraph.Graph, opt Options) (*Result, error) {
 		if opt.Threshold > 0 && g.Len() < opt.Threshold {
 			break
 		}
-		st := runIteration(g, iter, opt, res)
+		var st IterStats
+		st, keys, states, nodes = runIteration(g, keys, states, nodes, iter, opt, res)
 		res.Stats = append(res.Stats, st)
 		res.Iterations++
 		if st.Invalidated == 0 {
@@ -149,18 +164,30 @@ func Run(g *pakgraph.Graph, opt Options) (*Result, error) {
 	return res, nil
 }
 
+// nodeState carries one live node's cached P1 decision and serialized
+// sizes between iterations; the zero value means "unknown, recompute".
+// Node pointers ride along in a parallel slice, so steady-state iterations
+// never touch the graph map except to apply updates and delete.
+type nodeState struct {
+	status int8  // 0 unknown, 1 invalidation target, 2 survivor
+	d1, d2 int32 // Data1Bytes/Data2Bytes, valid when status != 0
+}
+
 // runIteration executes one iteration: parallel invalidation check over the
 // iteration-start state, extraction, grouped update application, then
-// deletion of invalidated nodes.
-func runIteration(g *pakgraph.Graph, iter int, opt Options, res *Result) IterStats {
+// deletion of invalidated nodes. keys must hold the graph's live keys in
+// ascending order with states parallel to it; the surviving keys and
+// states are returned (filtered in place, update targets reset to
+// unknown).
+func runIteration(g *pakgraph.Graph, keys []dna.Kmer, states []nodeState, nodes []*pakgraph.MacroNode, iter int, opt Options, res *Result) (IterStats, []dna.Kmer, []nodeState, []*pakgraph.MacroNode) {
 	k1 := g.K1()
-	keys := g.SortedKeys()
 	st := IterStats{Iter: iter, LiveNodes: len(keys)}
 	if opt.Observer != nil {
 		opt.Observer.BeginIteration(iter, len(keys))
 	}
 
-	// Phase A+B fused: decide invalidation and extract updates per node.
+	// Phase A+B fused: decide invalidation (cached unless the node was
+	// updated last iteration) and extract updates per node.
 	type nodeOut struct {
 		invalidated bool
 		updates     []Update
@@ -169,8 +196,16 @@ func runIteration(g *pakgraph.Graph, iter int, opt Options, res *Result) IterSta
 	outs := make([]nodeOut, len(keys))
 	par.For(len(keys), opt.Workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			n := g.Nodes[keys[i]]
-			if !n.IsInvalidationTarget(k1) {
+			n := nodes[i]
+			if states[i].status == 0 {
+				states[i].status = 2
+				if n.IsInvalidationTarget(k1) {
+					states[i].status = 1
+				}
+				states[i].d1 = int32(n.Data1Bytes())
+				states[i].d2 = int32(n.Data2Bytes())
+			}
+			if states[i].status != 1 {
 				continue
 			}
 			outs[i].invalidated = true
@@ -182,11 +217,15 @@ func runIteration(g *pakgraph.Graph, iter int, opt Options, res *Result) IterSta
 	// sumD1/sumD12 aggregate the P1 ("MN data1") and full-node footprints
 	// of all live nodes, the quantities the two flows' traffic models are
 	// built from.
-	var updates []Update
+	nUpdates := 0
+	for i := range outs {
+		nUpdates += len(outs[i].updates)
+	}
+	updates := make([]Update, 0, nUpdates)
 	var sumD1, sumD12, sumInvD2 int64
 	for i, key := range keys {
-		n := g.Nodes[key]
-		d1, d2 := n.Data1Bytes(), n.Data2Bytes()
+		n := nodes[i]
+		d1, d2 := int(states[i].d1), int(states[i].d2)
 		sumD1 += int64(d1)
 		sumD12 += int64(d1 + d2)
 		if opt.Observer != nil {
@@ -211,14 +250,32 @@ func runIteration(g *pakgraph.Graph, iter int, opt Options, res *Result) IterSta
 
 	// Phase C: group updates by target and apply. Updates for distinct
 	// targets are independent; within a target they are applied in the
-	// deterministic order accumulated above.
-	byTarget := make(map[dna.Kmer][]Update)
+	// deterministic order accumulated above. Grouping uses a CSR layout —
+	// first-appearance target order, a count pass, then a scatter into one
+	// flat slice — instead of a map of individually grown slices.
+	slot := make(map[dna.Kmer]int32, len(updates))
 	var targetOrder []dna.Kmer
-	for _, u := range updates {
-		if _, ok := byTarget[u.Target]; !ok {
-			targetOrder = append(targetOrder, u.Target)
+	var counts []int32
+	for i := range updates {
+		t := updates[i].Target
+		if s, ok := slot[t]; ok {
+			counts[s]++
+		} else {
+			slot[t] = int32(len(targetOrder))
+			targetOrder = append(targetOrder, t)
+			counts = append(counts, 1)
 		}
-		byTarget[u.Target] = append(byTarget[u.Target], u)
+	}
+	offsets := make([]int32, len(targetOrder)+1)
+	for i, c := range counts {
+		offsets[i+1] = offsets[i] + c
+	}
+	grouped := make([]Update, len(updates))
+	cursor := append([]int32(nil), offsets[:len(targetOrder)]...)
+	for i := range updates {
+		s := slot[updates[i].Target]
+		grouped[cursor[s]] = updates[i]
+		cursor[s]++
 	}
 	type updOut struct {
 		readBytes, writeBytes int
@@ -226,13 +283,14 @@ func runIteration(g *pakgraph.Graph, iter int, opt Options, res *Result) IterSta
 	}
 	uouts := make([]updOut, len(targetOrder))
 	par.ForIdx(len(targetOrder), opt.Workers, func(i int) {
+		ups := grouped[offsets[i]:offsets[i+1]]
 		n := g.Nodes[targetOrder[i]]
 		if n == nil {
-			uouts[i].dropped = len(byTarget[targetOrder[i]])
+			uouts[i].dropped = len(ups)
 			return
 		}
 		uouts[i].readBytes = n.Data1Bytes() + n.Data2Bytes()
-		uouts[i].dropped = Apply(n, byTarget[targetOrder[i]])
+		uouts[i].dropped = Apply(n, ups)
 		uouts[i].writeBytes = n.Data1Bytes() + n.Data2Bytes()
 	})
 	var sumTgtOld, sumTgtNew int64
@@ -246,10 +304,33 @@ func runIteration(g *pakgraph.Graph, iter int, opt Options, res *Result) IterSta
 	}
 
 	// Delete invalidated nodes (the optimized algorithm defers physical
-	// deletion; semantically they are gone either way).
+	// deletion; semantically they are gone either way) and compact the live
+	// key and state lists in place — ascending order is preserved for the
+	// next iteration.
+	live := 0
 	for i, key := range keys {
 		if outs[i].invalidated {
+			// Clear the node so its extension/wire arrays are collectable
+			// even while its slab (pakgraph.Build allocates nodes in
+			// blocks) is pinned by surviving neighbors.
+			*nodes[i] = pakgraph.MacroNode{}
 			delete(g.Nodes, key)
+		} else {
+			keys[live] = key
+			states[live] = states[i]
+			nodes[live] = nodes[i]
+			live++
+		}
+	}
+	keys = keys[:live]
+	states = states[:live]
+	nodes = nodes[:live]
+	// Applied targets were mutated: drop their cached state so the next
+	// iteration recomputes it (keys is sorted, so a binary search finds
+	// each survivor; deleted or dropped targets simply miss).
+	for _, t := range targetOrder {
+		if i, ok := slices.BinarySearch(keys, t); ok {
+			states[i] = nodeState{}
 		}
 	}
 
@@ -273,5 +354,5 @@ func runIteration(g *pakgraph.Graph, iter int, opt Options, res *Result) IterSta
 	if opt.Observer != nil {
 		opt.Observer.EndIteration(st)
 	}
-	return st
+	return st, keys, states, nodes
 }

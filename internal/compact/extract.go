@@ -21,6 +21,8 @@ import (
 // is emitted as a finished contig p+v+s.
 func Extract(v *pakgraph.MacroNode, k1 int) (updates []Update, contigs []dna.Seq) {
 	keySeq := v.Key.Seq(k1)
+	// Each wire yields at most two updates; size the slice once.
+	updates = make([]Update, 0, 2*len(v.Wires))
 	for _, w := range v.Wires {
 		if w.Count == 0 {
 			continue

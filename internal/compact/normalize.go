@@ -11,8 +11,11 @@ import (
 // cannot happen on structurally consistent graphs — balance and wiring are
 // rebuilt from scratch.
 func normalize(n *pakgraph.MacroNode) {
-	remapP := compactExts(&n.Prefixes)
-	remapS := compactExts(&n.Suffixes)
+	// Remap scratch stays on the stack for typical node sizes (the slices
+	// are passed down and returned, never retained).
+	var rpbuf, rsbuf [24]int32
+	remapP := compactExts(rpbuf[:0], &n.Prefixes)
+	remapS := compactExts(rsbuf[:0], &n.Suffixes)
 
 	wires := n.Wires[:0]
 	for _, w := range n.Wires {
@@ -53,11 +56,17 @@ func normalize(n *pakgraph.MacroNode) {
 
 // compactExts removes count-zero entries and merges duplicates, returning
 // the old-index -> new-index mapping (-1 for removed entries).
-func compactExts(exts *[]pakgraph.Ext) []int32 {
+func compactExts(buf []int32, exts *[]pakgraph.Ext) []int32 {
 	old := *exts
-	remap := make([]int32, len(old))
+	remap := buf[:0]
+	if len(old) <= cap(buf) {
+		remap = buf[:len(old)]
+	} else {
+		remap = make([]int32, len(old))
+	}
 	out := old[:0:len(old)]
-	kept := make([]pakgraph.Ext, 0, len(old))
+	var kbuf [24]pakgraph.Ext
+	kept := kbuf[:0]
 	for i := range old {
 		e := old[i]
 		if e.Count == 0 {
@@ -88,8 +97,18 @@ func compactExts(exts *[]pakgraph.Ext) []int32 {
 // consistent reports whether every extension's count is exactly covered by
 // its wires and the node is balanced.
 func consistent(n *pakgraph.MacroNode) bool {
-	wiredP := make([]uint64, len(n.Prefixes))
-	wiredS := make([]uint64, len(n.Suffixes))
+	var pbuf, sbuf [24]uint64
+	var wiredP, wiredS []uint64
+	if len(n.Prefixes) <= len(pbuf) {
+		wiredP = pbuf[:len(n.Prefixes)]
+	} else {
+		wiredP = make([]uint64, len(n.Prefixes))
+	}
+	if len(n.Suffixes) <= len(sbuf) {
+		wiredS = sbuf[:len(n.Suffixes)]
+	} else {
+		wiredS = make([]uint64, len(n.Suffixes))
+	}
 	for _, w := range n.Wires {
 		if int(w.P) >= len(n.Prefixes) || int(w.S) >= len(n.Suffixes) {
 			return false

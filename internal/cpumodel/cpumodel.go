@@ -157,6 +157,9 @@ type machine struct {
 	chs []*dram.Channel
 	tr  *trace.Trace
 	bd  Breakdown
+	// eng is reused across passes (Reset keeps heap capacity), so steady-
+	// state scheduling does not allocate.
+	eng sim.Engine
 	// Per-iteration TransferNode byte totals by source / destination.
 	tnOut map[int32]int
 	tnIn  map[int32]int
@@ -244,7 +247,9 @@ func (m *machine) pass(iter *trace.Iteration, start sim.Cycle, items []workItem)
 	}
 	threads := m.cfg.Threads
 	ends := make([]sim.Cycle, threads)
-	eng := &sim.Engine{}
+	eng := &m.eng
+	eng.Reset()
+	eng.Reserve(threads)
 	for th := 0; th < threads; th++ {
 		lo, hi := len(items)*th/threads, len(items)*(th+1)/threads
 		if lo >= hi {

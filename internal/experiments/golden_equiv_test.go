@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"nmppak/internal/cpumodel"
+	"nmppak/internal/kmer"
+	"nmppak/internal/nmp"
+	"nmppak/internal/pakgraph"
+	"nmppak/internal/scaleout"
+)
+
+// Golden output digests captured from the pre-optimization implementation
+// (comparator merge sort, container/heap event kernel, map-based terminal
+// counts). The hot-path rewrites must reproduce these byte-identical
+// counting results and cycle-exact simulation outcomes.
+const (
+	goldenKmerDistinct  = 59771
+	goldenKmerHash      = uint64(0x9971a4eae85dc82c)
+	goldenKmerExtracted = 828000
+	goldenPrunedKinds   = 226610
+	goldenPrunedMass    = 229864
+	goldenTermTotal     = 12000 // reads with len >= k, on both ends
+	goldenGraphNodes    = 59804
+	goldenTraceIters    = 18
+	goldenNMPCycles     = 308182
+	goldenCPUCycles     = 16955021
+	goldenScale1Total   = 13766386
+	goldenScale4Total   = 3894413
+)
+
+// TestGoldenEquivalence locks the full pipeline — counting, graph
+// construction, trace capture, NMP replay and scale-out replay — to the
+// exact outputs of the pre-optimization implementation on the quick
+// workload. Any deviation in sort order handling, event scheduling order
+// or terminal accounting shows up here as a digest or cycle mismatch.
+func TestGoldenEquivalence(t *testing.T) {
+	c, err := NewContext(QuickWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := kmer.Count(c.Reads, kmer.Config{K: 32, Workers: 4, MinCount: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	for _, kc := range res.Kmers {
+		fmt.Fprintf(h, "%d:%d;", uint64(kc.Km), kc.Count)
+	}
+	if len(res.Kmers) != goldenKmerDistinct {
+		t.Errorf("distinct kmers = %d, golden %d", len(res.Kmers), goldenKmerDistinct)
+	}
+	if got := h.Sum64(); got != goldenKmerHash {
+		t.Errorf("kmer stream hash = %#x, golden %#x", got, goldenKmerHash)
+	}
+	if res.TotalExtracted != goldenKmerExtracted {
+		t.Errorf("TotalExtracted = %d, golden %d", res.TotalExtracted, goldenKmerExtracted)
+	}
+	if res.PrunedKinds != goldenPrunedKinds || res.PrunedMass != goldenPrunedMass {
+		t.Errorf("pruned = %d/%d, golden %d/%d", res.PrunedKinds, res.PrunedMass, goldenPrunedKinds, goldenPrunedMass)
+	}
+	var tp, ts uint64
+	for _, e := range res.TermPrefix {
+		tp += uint64(e.Count)
+	}
+	for _, e := range res.TermSuffix {
+		ts += uint64(e.Count)
+	}
+	if tp != goldenTermTotal || ts != goldenTermTotal {
+		t.Errorf("terminal totals = %d/%d, golden %d", tp, ts, goldenTermTotal)
+	}
+
+	g, err := pakgraph.Build(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != goldenGraphNodes {
+		t.Errorf("graph nodes = %d, golden %d", g.Len(), goldenGraphNodes)
+	}
+
+	tr, err := c.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Iterations) != goldenTraceIters {
+		t.Errorf("trace iterations = %d, golden %d", len(tr.Iterations), goldenTraceIters)
+	}
+	nres, err := nmp.Simulate(tr, nmp.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nres.Cycles != goldenNMPCycles {
+		t.Errorf("nmp cycles = %d, golden %d", nres.Cycles, goldenNMPCycles)
+	}
+	cres, err := cpumodel.Simulate(tr, cpumodel.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.Cycles != goldenCPUCycles {
+		t.Errorf("cpumodel cycles = %d, golden %d", cres.Cycles, goldenCPUCycles)
+	}
+
+	for _, tc := range []struct {
+		nodes int
+		want  int64
+	}{{1, goldenScale1Total}, {4, goldenScale4Total}} {
+		scfg := scaleout.DefaultConfig(tc.nodes)
+		scfg.Workers = 4
+		sres, err := scaleout.Simulate(c.Reads, tr, scfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(sres.TotalCycles) != tc.want {
+			t.Errorf("scaleout n=%d total cycles = %d, golden %d", tc.nodes, sres.TotalCycles, tc.want)
+		}
+	}
+}

@@ -5,10 +5,13 @@
 //
 //   - Count: the paper's refined algorithm (§4.5) — parallel sliding-window
 //     extraction with per-worker vectors (precomputed read offsets),
-//     preallocated merges, parallel sort, then duplicate counting. This is
-//     the path behind the 416× k-mer counting speedup the paper reports.
+//     preallocated merges, parallel radix sort, then duplicate counting.
+//     This is the path behind the 416× k-mer counting speedup the paper
+//     reports; every buffer is sized up front from read counts so the hot
+//     loop performs no growth allocations.
 //   - CountNaive: the prior-work flow the paper profiles as "W/O SW-opt" —
-//     a single growing vector, serial extraction and serial sort.
+//     a single growing vector, serial extraction and serial comparison
+//     sort.
 //
 // Counting also records read-terminal (k-1)-mers (how many reads begin and
 // end at each (k-1)-mer), which MacroNode construction needs to place
@@ -19,6 +22,7 @@ package kmer
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"nmppak/internal/dna"
@@ -39,15 +43,47 @@ type Counted struct {
 	Count uint32
 }
 
+// TermCounts is a terminal-(k-1)-mer multiplicity table stored as a flat
+// (kmer, count) vector sorted ascending by Km — built in one pass from the
+// already-sorted terminal stream, replacing the hash maps the counting
+// pass previously grew entry by entry.
+type TermCounts []Counted
+
+// Get returns the count recorded for km (0 when absent) by binary search.
+func (t TermCounts) Get(km dna.Kmer) uint32 {
+	lo, hi := 0, len(t)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t[mid].Km < km {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(t) && t[lo].Km == km {
+		return t[lo].Count
+	}
+	return 0
+}
+
+// Total sums all recorded counts.
+func (t TermCounts) Total() uint64 {
+	var s uint64
+	for _, e := range t {
+		s += uint64(e.Count)
+	}
+	return s
+}
+
 // Result is the outcome of a counting pass.
 type Result struct {
 	K     int
 	Kmers []Counted // sorted ascending (lexicographic under A<C<T<G)
-	// TermPrefix[x] is the number of reads whose first (k-1)-mer is x;
-	// TermSuffix[x] the number whose last (k-1)-mer is x. These become
-	// terminal extension counts in MacroNode construction.
-	TermPrefix map[dna.Kmer]uint32
-	TermSuffix map[dna.Kmer]uint32
+	// TermPrefix records, per (k-1)-mer x, the number of reads whose first
+	// (k-1)-mer is x; TermSuffix the number whose last (k-1)-mer is x.
+	// These become terminal extension counts in MacroNode construction.
+	TermPrefix TermCounts
+	TermSuffix TermCounts
 
 	TotalExtracted int64 // raw k-mer instances before dedup
 	PrunedKinds    int64 // distinct k-mers dropped by MinCount
@@ -80,8 +116,8 @@ func Count(reads []readsim.Read, cfg Config) (*Result, error) {
 	}
 	type shard struct {
 		kmers []uint64
-		tp    map[dna.Kmer]uint32
-		ts    map[dna.Kmer]uint32
+		tp    []uint64 // raw terminal-prefix words, one per counted read
+		ts    []uint64
 	}
 	shards := make([]shard, nChunks)
 	chunk := (len(reads) + nChunks - 1) / nChunks
@@ -94,52 +130,50 @@ func Count(reads []readsim.Read, cfg Config) (*Result, error) {
 			if rlo > rhi {
 				rlo = rhi
 			}
-			total := 0
+			total, terms := 0, 0
 			for _, rd := range reads[rlo:rhi] {
 				if n := rd.Seq.Len() - cfg.K + 1; n > 0 {
 					total += n
+					terms++
 				}
 			}
 			sh := shard{
 				kmers: make([]uint64, 0, total),
-				tp:    make(map[dna.Kmer]uint32),
-				ts:    make(map[dna.Kmer]uint32),
+				tp:    make([]uint64, 0, terms),
+				ts:    make([]uint64, 0, terms),
 			}
 			for _, rd := range reads[rlo:rhi] {
-				ExtractInto(&sh.kmers, sh.tp, sh.ts, rd.Seq, cfg.K)
+				ExtractInto(&sh.kmers, &sh.tp, &sh.ts, rd.Seq, cfg.K)
 			}
 			shards[ci] = sh
 		}
 	})
 
 	// (b) Preallocated merge of the per-worker vectors.
-	total := 0
+	total, terms := 0, 0
 	for i := range shards {
 		total += len(shards[i].kmers)
+		terms += len(shards[i].tp)
 	}
 	all := make([]uint64, 0, total)
+	tpRaw := make([]uint64, 0, terms)
+	tsRaw := make([]uint64, 0, terms)
 	for i := range shards {
 		all = append(all, shards[i].kmers...)
-		shards[i].kmers = nil
+		tpRaw = append(tpRaw, shards[i].tp...)
+		tsRaw = append(tsRaw, shards[i].ts...)
+		shards[i] = shard{}
 	}
 
-	// (c) Parallel sort (the __gnu_parallel::sort substitute).
+	// (c) Parallel radix sort (the __gnu_parallel::sort substitute).
 	ParallelSortUint64(all, w)
 
 	res := &Result{
 		K:              cfg.K,
-		TermPrefix:     make(map[dna.Kmer]uint32),
-		TermSuffix:     make(map[dna.Kmer]uint32),
 		TotalExtracted: int64(total),
 	}
-	for i := range shards {
-		for k, c := range shards[i].tp {
-			res.TermPrefix[k] += c
-		}
-		for k, c := range shards[i].ts {
-			res.TermSuffix[k] += c
-		}
-	}
+	res.TermPrefix = countTerms(tpRaw, w)
+	res.TermSuffix = countTerms(tsRaw, w)
 	res.Kmers, res.PrunedKinds, res.PrunedMass = dedup(all, cfg.MinCount)
 	return res, nil
 }
@@ -150,58 +184,168 @@ func CountNaive(reads []readsim.Read, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	res := &Result{
-		K:          cfg.K,
-		TermPrefix: make(map[dna.Kmer]uint32),
-		TermSuffix: make(map[dna.Kmer]uint32),
-	}
-	var all []uint64 // deliberately not preallocated
+	res := &Result{K: cfg.K}
+	var all, tpRaw, tsRaw []uint64 // deliberately not preallocated
 	for _, rd := range reads {
-		ExtractInto(&all, res.TermPrefix, res.TermSuffix, rd.Seq, cfg.K)
+		ExtractInto(&all, &tpRaw, &tsRaw, rd.Seq, cfg.K)
 	}
 	res.TotalExtracted = int64(len(all))
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	sort.Slice(tpRaw, func(i, j int) bool { return tpRaw[i] < tpRaw[j] })
+	sort.Slice(tsRaw, func(i, j int) bool { return tsRaw[i] < tsRaw[j] })
+	res.TermPrefix = termsFromSorted(tpRaw)
+	res.TermSuffix = termsFromSorted(tsRaw)
 	res.Kmers, res.PrunedKinds, res.PrunedMass = dedup(all, cfg.MinCount)
 	return res, nil
 }
 
-// ExtractInto appends all k-mers of seq to dst and records the terminal
-// (k-1)-mers of the read in tp/ts. Exported for internal/scaleout, whose
-// per-node extraction must match this pass exactly for the sharded merge
-// to reproduce the single-node result.
-func ExtractInto(dst *[]uint64, tp, ts map[dna.Kmer]uint32, seq dna.Seq, k int) {
+// ExtractInto appends all k-mers of seq to dst and the read's terminal
+// (k-1)-mers to tp/ts (one word each per read of length >= k). Exported
+// for internal/scaleout, whose per-node extraction must match this pass
+// exactly for the sharded merge to reproduce the single-node result.
+func ExtractInto(dst, tp, ts *[]uint64, seq dna.Seq, k int) {
 	n := seq.Len()
 	if n < k {
 		return
 	}
 	km := dna.KmerFromSeq(seq, 0, k)
 	*dst = append(*dst, uint64(km))
-	tp[km.Prefix()]++
+	*tp = append(*tp, uint64(km.Prefix()))
 	for i := k; i < n; i++ {
 		km = km.Roll(k, seq.At(i))
 		*dst = append(*dst, uint64(km))
 	}
-	ts[km.Suffix(k)]++
+	*ts = append(*ts, uint64(km.Suffix(k)))
 }
 
-// dedup collapses a sorted k-mer vector into (kmer, count) pairs, applying
-// the MinCount pruning threshold.
-func dedup(sorted []uint64, minCount uint32) (out []Counted, prunedKinds, prunedMass int64) {
-	if minCount < 1 {
-		minCount = 1
+// countTerms sorts a raw terminal word stream and collapses it into a
+// TermCounts vector.
+func countTerms(raw []uint64, workers int) TermCounts {
+	ParallelSortUint64(raw, workers)
+	return termsFromSorted(raw)
+}
+
+// CountTerms sorts a raw terminal word stream in place and collapses it
+// into a TermCounts vector. Exported for internal/scaleout's per-node
+// pre-aggregation, which must match Count's terminal accounting exactly.
+func CountTerms(raw []uint64, workers int) TermCounts {
+	return countTerms(raw, workers)
+}
+
+// MergeTerms combines several TermCounts vectors (each sorted, possibly
+// overlapping) into one sorted vector with summed counts; nil when empty.
+func MergeTerms(lists []TermCounts) TermCounts {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
 	}
+	if total == 0 {
+		return nil
+	}
+	all := make(TermCounts, 0, total)
+	for _, l := range lists {
+		all = append(all, l...)
+	}
+	sortCounted(all)
+	w := 0
+	for i := 0; i < len(all); {
+		j, c := i+1, all[i].Count
+		for j < len(all) && all[j].Km == all[i].Km {
+			c += all[j].Count
+			j++
+		}
+		all[w] = Counted{Km: all[i].Km, Count: c}
+		w++
+		i = j
+	}
+	return all[:w]
+}
+
+// sortCounted sorts a (kmer, count) vector ascending by Km.
+func sortCounted(v []Counted) {
+	slices.SortFunc(v, func(a, b Counted) int {
+		switch {
+		case a.Km < b.Km:
+			return -1
+		case a.Km > b.Km:
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
+// SortCounted sorts a (kmer, count) vector ascending by Km; exported for
+// the sharded counting path.
+func SortCounted(v []Counted) { sortCounted(v) }
+
+// termsFromSorted collapses an already-sorted terminal stream into an
+// exactly-sized TermCounts vector (nil when empty).
+func termsFromSorted(sorted []uint64) TermCounts {
+	if len(sorted) == 0 {
+		return nil
+	}
+	out := make(TermCounts, 0, countRuns(sorted))
 	i := 0
 	for i < len(sorted) {
 		j := i + 1
 		for j < len(sorted) && sorted[j] == sorted[i] {
 			j++
 		}
-		c := uint32(j - i)
-		if c >= minCount {
-			out = append(out, Counted{Km: dna.Kmer(sorted[i]), Count: c})
+		out = append(out, Counted{Km: dna.Kmer(sorted[i]), Count: uint32(j - i)})
+		i = j
+	}
+	return out
+}
+
+// countRuns returns the number of distinct values in a sorted slice.
+func countRuns(sorted []uint64) int {
+	if len(sorted) == 0 {
+		return 0
+	}
+	runs := 1
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] != sorted[i-1] {
+			runs++
+		}
+	}
+	return runs
+}
+
+// dedup collapses a sorted k-mer vector into (kmer, count) pairs, applying
+// the MinCount pruning threshold. A counting pre-pass sizes the output
+// exactly, so the result vector never grows.
+func dedup(sorted []uint64, minCount uint32) (out []Counted, prunedKinds, prunedMass int64) {
+	if minCount < 1 {
+		minCount = 1
+	}
+	kept := 0
+	i := 0
+	for i < len(sorted) {
+		j := i + 1
+		for j < len(sorted) && sorted[j] == sorted[i] {
+			j++
+		}
+		if c := uint32(j - i); c >= minCount {
+			kept++
 		} else {
 			prunedKinds++
 			prunedMass += int64(c)
+		}
+		i = j
+	}
+	if kept == 0 {
+		return nil, prunedKinds, prunedMass
+	}
+	out = make([]Counted, 0, kept)
+	i = 0
+	for i < len(sorted) {
+		j := i + 1
+		for j < len(sorted) && sorted[j] == sorted[i] {
+			j++
+		}
+		if c := uint32(j - i); c >= minCount {
+			out = append(out, Counted{Km: dna.Kmer(sorted[i]), Count: c})
 		}
 		i = j
 	}

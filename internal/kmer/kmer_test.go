@@ -111,19 +111,24 @@ func TestTerminalCounts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var tp, ts uint32
-	for _, c := range res.TermPrefix {
-		tp += c
-	}
-	for _, c := range res.TermSuffix {
-		ts += c
-	}
+	tp, ts := res.TermPrefix.Total(), res.TermSuffix.Total()
 	if int(tp) != len(reads) || int(ts) != len(reads) {
 		t.Fatalf("terminal totals tp=%d ts=%d want %d", tp, ts, len(reads))
 	}
+	// Both vectors sorted strictly ascending.
+	for i := 1; i < len(res.TermPrefix); i++ {
+		if res.TermPrefix[i-1].Km >= res.TermPrefix[i].Km {
+			t.Fatal("TermPrefix not sorted strictly ascending")
+		}
+	}
+	for i := 1; i < len(res.TermSuffix); i++ {
+		if res.TermSuffix[i-1].Km >= res.TermSuffix[i].Km {
+			t.Fatal("TermSuffix not sorted strictly ascending")
+		}
+	}
 	// Spot-check: the first read's first 31-mer must appear in TermPrefix.
 	first := dna.KmerFromSeq(reads[0].Seq, 0, 31)
-	if res.TermPrefix[first] == 0 {
+	if res.TermPrefix.Get(first) == 0 {
 		t.Fatal("first read's leading 31-mer missing from TermPrefix")
 	}
 }
@@ -161,6 +166,44 @@ func TestCountValidation(t *testing.T) {
 	res, err := Count(nil, Config{K: 32})
 	if err != nil || len(res.Kmers) != 0 {
 		t.Fatalf("empty input: %v %v", res, err)
+	}
+}
+
+func TestTermCountsGet(t *testing.T) {
+	tc := TermCounts{{Km: 2, Count: 1}, {Km: 5, Count: 3}, {Km: 9, Count: 2}}
+	for km, want := range map[dna.Kmer]uint32{0: 0, 2: 1, 3: 0, 5: 3, 9: 2, 10: 0} {
+		if got := tc.Get(km); got != want {
+			t.Errorf("Get(%d) = %d, want %d", km, got, want)
+		}
+	}
+	if TermCounts(nil).Get(1) != 0 {
+		t.Error("nil TermCounts lookup must be 0")
+	}
+	if tc.Total() != 6 {
+		t.Errorf("Total = %d, want 6", tc.Total())
+	}
+}
+
+// TestCountAllocs pins the allocation count of one optimized counting
+// pass: every buffer is pre-sized from read counts, so allocs/op must stay
+// a small constant regardless of the k-mer volume.
+func TestCountAllocs(t *testing.T) {
+	reads := simReads(t, 20000, 10, 0.005, 12)
+	cfg := Config{K: 31, Workers: 1, MinCount: 2}
+	if _, err := Count(reads, cfg); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := Count(reads, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// ~59k reads produce ~4M raw k-mer instances; the pass itself needs
+	// only the shard vectors, the merge vectors, the radix scratch and the
+	// three result vectors. 40 leaves headroom over the measured count
+	// without letting per-element growth regressions through.
+	if allocs > 40 {
+		t.Errorf("Count allocated %v times per pass, want <= 40", allocs)
 	}
 }
 

@@ -1,0 +1,100 @@
+package kmer
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// FuzzRadixVsSortSlice cross-checks the radix sort against sort.Slice on
+// arbitrary word streams, including the short slices.Sort fallback and the
+// skipped-pass path (high bytes all zero).
+func FuzzRadixVsSortSlice(f *testing.F) {
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, uint8(4))
+	f.Add(func() []byte {
+		// Large deterministic seed crossing the radixMinLen threshold, with
+		// the top 16 bits zero so at least one pass is skipped.
+		b := make([]byte, 8*(radixMinLen+100))
+		r := rand.New(rand.NewSource(42))
+		for i := 0; i+8 <= len(b); i += 8 {
+			binary.LittleEndian.PutUint64(b[i:], r.Uint64()>>16)
+		}
+		return b
+	}(), uint8(7))
+	f.Fuzz(func(t *testing.T, data []byte, workers uint8) {
+		v := make([]uint64, len(data)/8)
+		for i := range v {
+			v[i] = binary.LittleEndian.Uint64(data[8*i:])
+		}
+		want := append([]uint64(nil), v...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		ParallelSortUint64(v, int(workers))
+		for i := range v {
+			if v[i] != want[i] {
+				t.Fatalf("mismatch at %d: %#x want %#x (n=%d workers=%d)", i, v[i], want[i], len(v), workers)
+			}
+		}
+	})
+}
+
+// TestRadixLargeRandom forces the parallel radix path (above radixMinLen)
+// across worker counts and bit widths.
+func TestRadixLargeRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, shift := range []uint{0, 16, 40, 63} {
+		for _, w := range []int{1, 3, 8, 64} {
+			n := radixMinLen*2 + r.Intn(1000)
+			v := make([]uint64, n)
+			for i := range v {
+				v[i] = r.Uint64() >> shift
+			}
+			want := append([]uint64(nil), v...)
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			ParallelSortUint64(v, w)
+			for i := range v {
+				if v[i] != want[i] {
+					t.Fatalf("shift=%d w=%d: mismatch at %d", shift, w, i)
+				}
+			}
+		}
+	}
+}
+
+func benchWords(n int) []uint64 {
+	r := rand.New(rand.NewSource(3))
+	v := make([]uint64, n)
+	for i := range v {
+		v[i] = r.Uint64()
+	}
+	return v
+}
+
+// BenchmarkRadixSort measures the production sort on a counting-sized
+// input (1M words ~ a 1M-instance k-mer batch).
+func BenchmarkRadixSort(b *testing.B) {
+	src := benchWords(1 << 20)
+	v := make([]uint64, len(src))
+	b.SetBytes(8 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(v, src)
+		ParallelSortUint64(v, 0)
+	}
+}
+
+// BenchmarkComparatorSort is the pre-radix baseline (sort.Slice with a
+// closure comparator) on the same input, kept for the regression table.
+func BenchmarkComparatorSort(b *testing.B) {
+	src := benchWords(1 << 20)
+	v := make([]uint64, len(src))
+	b.SetBytes(8 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(v, src)
+		sort.Slice(v, func(x, y int) bool { return v[x] < v[y] })
+	}
+}

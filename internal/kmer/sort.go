@@ -1,77 +1,122 @@
+// Parallel radix sort for packed k-mer words — the stdlib-only substitute
+// for the __gnu_parallel::sort the paper's optimized k-mer counting uses
+// (§4.5 c), rebuilt as a least-significant-digit radix sort so the hot
+// counting path performs no comparator calls at all.
 package kmer
 
 import (
-	"sort"
-	"sync"
+	"slices"
+
+	"nmppak/internal/par"
 )
 
-// ParallelSortUint64 sorts v ascending using a chunked parallel sort
-// followed by pairwise parallel merges — the stdlib-only substitute for the
-// __gnu_parallel::sort the paper's optimized k-mer counting uses (§4.5 c).
+const (
+	radixBits    = 11
+	radixBuckets = 1 << radixBits // 2048 buckets per pass
+	radixMask    = radixBuckets - 1
+
+	// Below this size a comparison sort wins over the histogram setup.
+	radixMinLen = 4096
+)
+
+// ParallelSortUint64 sorts v ascending. Large inputs take a parallel LSD
+// radix sort: per-worker 2048-bucket histograms, a prefix-summed scatter
+// into disjoint output regions, and one ping-pong buffer reused across all
+// passes. Passes above the highest set bit of the input are skipped, as
+// are passes whose digit is zero everywhere, so k<32 k-mer sets pay only
+// for the bits they use. Small inputs fall back to slices.Sort.
 func ParallelSortUint64(v []uint64, workers int) {
-	if workers <= 1 || len(v) < 4096 {
-		sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	if len(v) < radixMinLen {
+		slices.Sort(v)
 		return
 	}
-	// Round chunk count down to a power of two so merges pair cleanly.
-	chunks := 1
-	for chunks*2 <= workers {
-		chunks *= 2
+	w := par.Threads(workers)
+	// Keep per-worker chunks comfortably larger than the bucket table.
+	if maxW := len(v) / (radixBuckets * 8); w > maxW {
+		w = maxW
 	}
-	bounds := make([]int, chunks+1)
-	for i := 0; i <= chunks; i++ {
-		bounds[i] = len(v) * i / chunks
+	if w < 1 {
+		w = 1
 	}
-	var wg sync.WaitGroup
-	for i := 0; i < chunks; i++ {
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			s := v[lo:hi]
-			sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
-		}(bounds[i], bounds[i+1])
-	}
-	wg.Wait()
+	radixSortUint64(v, w)
+}
 
-	// log2(chunks) rounds of pairwise merges, each round in parallel.
-	buf := make([]uint64, len(v))
-	src, dst := v, buf
-	for width := 1; width < chunks; width *= 2 {
-		var mwg sync.WaitGroup
-		for i := 0; i+width <= chunks; i += 2 * width {
-			lo, mid := bounds[i], bounds[i+width]
-			hi := len(v)
-			if i+2*width <= chunks {
-				hi = bounds[i+2*width]
+// radixSortUint64 is the multi-pass scatter kernel behind
+// ParallelSortUint64.
+func radixSortUint64(v []uint64, w int) {
+	n := len(v)
+	bounds := make([]int, w+1)
+	for i := 0; i <= w; i++ {
+		bounds[i] = n * i / w
+	}
+
+	// Highest used bit determines the pass count (parallel OR-reduction).
+	ors := make([]uint64, w)
+	par.For(w, w, func(lo, hi int) {
+		for wi := lo; wi < hi; wi++ {
+			var o uint64
+			for _, x := range v[bounds[wi]:bounds[wi+1]] {
+				o |= x
 			}
-			mwg.Add(1)
-			go func(lo, mid, hi int) {
-				defer mwg.Done()
-				mergeUint64(dst[lo:hi], src[lo:mid], src[mid:hi])
-			}(lo, mid, hi)
+			ors[wi] = o
 		}
-		mwg.Wait()
+	})
+	var or uint64
+	for _, o := range ors {
+		or |= o
+	}
+	passes := 0
+	for m := or; m != 0; m >>= radixBits {
+		passes++
+	}
+	if passes == 0 {
+		return // all zero: already sorted
+	}
+
+	buf := make([]uint64, n)
+	// counts[wi*radixBuckets+b] is worker wi's histogram count for bucket
+	// b, converted in place into its scatter cursor by the prefix sum.
+	counts := make([]int, w*radixBuckets)
+	src, dst := v, buf
+	for p := 0; p < passes; p++ {
+		shift := uint(p) * radixBits
+		if or>>shift&radixMask == 0 {
+			continue // no element has a nonzero digit in this pass
+		}
+		par.For(w, w, func(lo, hi int) {
+			for wi := lo; wi < hi; wi++ {
+				cnt := counts[wi*radixBuckets : (wi+1)*radixBuckets : (wi+1)*radixBuckets]
+				clear(cnt)
+				for _, x := range src[bounds[wi]:bounds[wi+1]] {
+					cnt[x>>shift&radixMask]++
+				}
+			}
+		})
+		// Prefix sum in bucket-major order: all of bucket b's elements come
+		// before bucket b+1's, and within a bucket worker wi's elements come
+		// before worker wi+1's (chunks are scanned in index order).
+		running := 0
+		for b := 0; b < radixBuckets; b++ {
+			for wi := 0; wi < w; wi++ {
+				i := wi*radixBuckets + b
+				c := counts[i]
+				counts[i] = running
+				running += c
+			}
+		}
+		par.For(w, w, func(lo, hi int) {
+			for wi := lo; wi < hi; wi++ {
+				cur := counts[wi*radixBuckets : (wi+1)*radixBuckets : (wi+1)*radixBuckets]
+				for _, x := range src[bounds[wi]:bounds[wi+1]] {
+					b := x >> shift & radixMask
+					dst[cur[b]] = x
+					cur[b]++
+				}
+			}
+		})
 		src, dst = dst, src
 	}
 	if &src[0] != &v[0] {
 		copy(v, src)
 	}
-}
-
-// mergeUint64 merges two sorted runs a and b into out (len(out) must equal
-// len(a)+len(b)).
-func mergeUint64(out, a, b []uint64) {
-	i, j, k := 0, 0, 0
-	for i < len(a) && j < len(b) {
-		if a[i] <= b[j] {
-			out[k] = a[i]
-			i++
-		} else {
-			out[k] = b[j]
-			j++
-		}
-		k++
-	}
-	copy(out[k:], a[i:])
-	copy(out[k+len(a)-i:], b[j:])
 }

@@ -17,7 +17,7 @@ package pakgraph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"nmppak/internal/dna"
 	"nmppak/internal/kmer"
@@ -77,10 +77,19 @@ func Build(res *kmer.Result) (*Graph, error) {
 		return nil, fmt.Errorf("pakgraph: invalid k=%d", res.K)
 	}
 	g := &Graph{K: res.K, Nodes: make(map[dna.Kmer]*MacroNode, len(res.Kmers))}
+	// Nodes are carved out of slab blocks: one allocation per 512 nodes
+	// instead of one each, which cuts both Build time and the GC scan load
+	// of the finished graph.
+	var slab []MacroNode
 	node := func(key dna.Kmer) *MacroNode {
 		n := g.Nodes[key]
 		if n == nil {
-			n = &MacroNode{Key: key}
+			if len(slab) == 0 {
+				slab = make([]MacroNode, 512)
+			}
+			n = &slab[0]
+			slab = slab[1:]
+			n.Key = key
 			g.Nodes[key] = n
 		}
 		return n
@@ -135,8 +144,11 @@ func AddExt(exts *[]Ext, seq dna.Seq, weight uint32, terminal bool) {
 // their wire degree, the structural invariant Validate checks.
 func (n *MacroNode) Rewire() {
 	n.Wires = n.Wires[:0]
-	pi := sortedByWeight(n.Prefixes)
-	si := sortedByWeight(n.Suffixes)
+	// Index scratch lives on the stack for typical extension counts; only
+	// heavily forked nodes spill to the heap.
+	var pbuf, sbuf [16]int
+	pi := sortedByWeight(pbuf[:0], n.Prefixes)
+	si := sortedByWeight(sbuf[:0], n.Suffixes)
 	m := len(pi)
 	if len(si) < m {
 		m = len(si)
@@ -165,13 +177,17 @@ func (n *MacroNode) Rewire() {
 	}
 }
 
-func sortedByWeight(exts []Ext) []int {
-	idx := make([]int, len(exts))
-	for i := range idx {
-		idx[i] = i
+func sortedByWeight(buf []int, exts []Ext) []int {
+	idx := buf
+	for i := range exts {
+		idx = append(idx, i)
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		ea, eb := exts[idx[a]], exts[idx[b]]
+	// Extension lists are tiny (a handful of entries), so an insertion sort
+	// beats sort.Slice here and avoids its comparator closure and reflect-
+	// based swapper; the (terminal, weight, index) key is a total order, so
+	// the result is identical.
+	less := func(a, b int) bool {
+		ea, eb := &exts[a], &exts[b]
 		// Real extensions outrank terminal pads at equal weight, so pads
 		// pair with pads only as a last resort.
 		if ea.Terminal != eb.Terminal {
@@ -180,25 +196,33 @@ func sortedByWeight(exts []Ext) []int {
 		if ea.Weight != eb.Weight {
 			return ea.Weight > eb.Weight
 		}
-		return idx[a] < idx[b]
-	})
+		return a < b
+	}
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && less(idx[j], idx[j-1]); j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
 	return idx
 }
 
 // NeighborKeys returns the distinct keys of all nodes adjacent to n
 // (reachable through any non-terminal extension), and whether any extension
-// is a self-loop.
+// is a self-loop. Extension lists are small, so duplicates are filtered by
+// a linear scan instead of a throwaway map.
 func (n *MacroNode) NeighborKeys(k1 int) (keys []dna.Kmer, selfLoop bool) {
-	seen := make(map[dna.Kmer]struct{}, len(n.Prefixes)+len(n.Suffixes))
+	keys = make([]dna.Kmer, 0, len(n.Prefixes)+len(n.Suffixes))
 	add := func(k dna.Kmer) {
 		if k == n.Key {
 			selfLoop = true
 			return
 		}
-		if _, ok := seen[k]; !ok {
-			seen[k] = struct{}{}
-			keys = append(keys, k)
+		for _, have := range keys {
+			if have == k {
+				return
+			}
 		}
+		keys = append(keys, k)
 	}
 	for _, e := range n.Prefixes {
 		if !e.Terminal {
@@ -210,35 +234,53 @@ func (n *MacroNode) NeighborKeys(k1 int) (keys []dna.Kmer, selfLoop bool) {
 			add(dna.NeighborViaSuffix(n.Key, k1, e.Seq))
 		}
 	}
+	if len(keys) == 0 {
+		keys = nil
+	}
 	return keys, selfLoop
 }
 
 // IsInvalidationTarget implements the paper's Fig. 4(b) check: the node is
 // removable when it has at least one real neighbor, no self-loop, and its
 // key is strictly the lexicographically largest among all neighbor keys.
+// This is the P1 decision evaluated once per live node per compaction
+// iteration, so it runs allocation-free and bails out at the first
+// neighbor that disqualifies the node (a self-loop is a neighbor key equal
+// to n.Key, so the single >= comparison covers both conditions).
 func (n *MacroNode) IsInvalidationTarget(k1 int) bool {
-	keys, selfLoop := n.NeighborKeys(k1)
-	if selfLoop || len(keys) == 0 {
-		return false
-	}
-	for _, k := range keys {
-		if k >= n.Key {
-			return false
+	has := false
+	for i := range n.Prefixes {
+		if e := &n.Prefixes[i]; !e.Terminal {
+			if dna.NeighborViaPrefix(n.Key, k1, e.Seq) >= n.Key {
+				return false
+			}
+			has = true
 		}
 	}
-	return true
+	for i := range n.Suffixes {
+		if e := &n.Suffixes[i]; !e.Terminal {
+			if dna.NeighborViaSuffix(n.Key, k1, e.Seq) >= n.Key {
+				return false
+			}
+			has = true
+		}
+	}
+	return has
 }
 
 // Data1Bytes models the size of the fields Stage P1/P2 load ("MN data1" in
 // Fig. 10): the (k-1)-mer plus the packed prefix and suffix extension
 // sequences and counts.
 func (n *MacroNode) Data1Bytes() int {
+	// Indexed loops: this is called once per live node per compaction
+	// iteration, and ranging by value would copy each Ext (seq header +
+	// counts) just to read one length.
 	b := 8
-	for _, e := range n.Prefixes {
-		b += e.Seq.PackedBytes() + 7 // count(4) + len(2) + flags(1)
+	for i := range n.Prefixes {
+		b += n.Prefixes[i].Seq.PackedBytes() + 7 // count(4) + len(2) + flags(1)
 	}
-	for _, e := range n.Suffixes {
-		b += e.Seq.PackedBytes() + 7
+	for i := range n.Suffixes {
+		b += n.Suffixes[i].Seq.PackedBytes() + 7
 	}
 	return b
 }
@@ -294,7 +336,7 @@ func (g *Graph) SortedKeys() []dna.Kmer {
 	for k := range g.Nodes {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	slices.Sort(keys)
 	return keys
 }
 

@@ -8,6 +8,7 @@ package par
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Threads returns the worker count to use: n if positive, otherwise
@@ -67,13 +68,12 @@ func ForIdx(n, workers int, body func(i int)) {
 		}
 		return
 	}
-	var next int64
-	var mu sync.Mutex
+	// The dispatch counter is the one piece of shared state on this path;
+	// claiming a batch with a single atomic add keeps the fine-grained
+	// dispatch it exists for from serializing on a lock.
+	var next atomic.Int64
 	take := func(batch int) (int, int) {
-		mu.Lock()
-		lo := int(next)
-		next += int64(batch)
-		mu.Unlock()
+		lo := int(next.Add(int64(batch))) - batch
 		hi := lo + batch
 		if hi > n {
 			hi = n

@@ -71,30 +71,38 @@ func CountSharded(reads []readsim.Read, cfg Config) (*ShardedCount, error) {
 	// Per-node extraction + local pre-aggregation, each node in parallel
 	// (the intra-node parallelism of kmer.Count is already exercised by the
 	// single-node path; here the unit of concurrency is the virtual node).
+	// Buffers are pre-sized from read counts like kmer.Count's, and the
+	// per-owner buckets are sorted flat vectors carved out of the sorted
+	// local streams — no maps anywhere on the path.
 	type bucketSet struct {
-		recs [][]kmer.Counted      // by owner
-		tp   []map[dna.Kmer]uint32 // terminal prefixes by key owner
-		ts   []map[dna.Kmer]uint32 // terminal suffixes by key owner
+		recs [][]kmer.Counted  // by owner, each ascending
+		tp   []kmer.TermCounts // terminal prefixes by key owner, ascending
+		ts   []kmer.TermCounts // terminal suffixes by key owner, ascending
 	}
 	buckets := make([]bucketSet, n)
 	par.ForIdx(n, cfg.Workers, func(src int) {
-		var raw []uint64
-		tp := make(map[dna.Kmer]uint32)
-		ts := make(map[dna.Kmer]uint32)
+		total, terms := 0, 0
 		for ri := src; ri < len(reads); ri += n {
-			kmer.ExtractInto(&raw, tp, ts, reads[ri].Seq, cfg.K)
+			if c := reads[ri].Seq.Len() - cfg.K + 1; c > 0 {
+				total += c
+				terms++
+			}
+		}
+		raw := make([]uint64, 0, total)
+		tpRaw := make([]uint64, 0, terms)
+		tsRaw := make([]uint64, 0, terms)
+		for ri := src; ri < len(reads); ri += n {
+			kmer.ExtractInto(&raw, &tpRaw, &tsRaw, reads[ri].Seq, cfg.K)
 		}
 		sc.ExtractedPerNode[src] = int64(len(raw))
-		sort.Slice(raw, func(i, j int) bool { return raw[i] < raw[j] })
+		kmer.ParallelSortUint64(raw, 1)
+		tpc := kmer.CountTerms(tpRaw, 1)
+		tsc := kmer.CountTerms(tsRaw, 1)
 
 		bs := bucketSet{
 			recs: make([][]kmer.Counted, n),
-			tp:   make([]map[dna.Kmer]uint32, n),
-			ts:   make([]map[dna.Kmer]uint32, n),
-		}
-		for d := 0; d < n; d++ {
-			bs.tp[d] = make(map[dna.Kmer]uint32)
-			bs.ts[d] = make(map[dna.Kmer]uint32)
+			tp:   make([]kmer.TermCounts, n),
+			ts:   make([]kmer.TermCounts, n),
 		}
 		i := 0
 		for i < len(raw) {
@@ -107,11 +115,13 @@ func CountSharded(reads []readsim.Read, cfg Config) (*ShardedCount, error) {
 			bs.recs[d] = append(bs.recs[d], kmer.Counted{Km: km, Count: uint32(j - i)})
 			i = j
 		}
-		for km, c := range tp {
-			bs.tp[p.Owner(km, cfg.K-1, n)][km] += c
+		for _, e := range tpc {
+			d := p.Owner(e.Km, cfg.K-1, n)
+			bs.tp[d] = append(bs.tp[d], e)
 		}
-		for km, c := range ts {
-			bs.ts[p.Owner(km, cfg.K-1, n)][km] += c
+		for _, e := range tsc {
+			d := p.Owner(e.Km, cfg.K-1, n)
+			bs.ts[d] = append(bs.ts[d], e)
 		}
 		buckets[src] = bs
 	})
@@ -124,20 +134,29 @@ func CountSharded(reads []readsim.Read, cfg Config) (*ShardedCount, error) {
 		}
 	}
 
-	// Owner-side merge: gather the src-sorted partial lists, re-sort, sum
-	// runs, prune. Pruning after the exchange sees the complete count of
-	// every owned k-mer, so it is exactly the single-node threshold.
+	// Owner-side merge: gather the src-sorted partial lists (total size
+	// known up front), re-sort, sum runs, prune. Pruning after the exchange
+	// sees the complete count of every owned k-mer, so it is exactly the
+	// single-node threshold.
 	par.ForIdx(n, cfg.Workers, func(dst int) {
-		var recs []kmer.Counted
+		total := 0
+		for src := 0; src < n; src++ {
+			total += len(buckets[src].recs[dst])
+		}
+		recs := make([]kmer.Counted, 0, total)
+		tpLists := make([]kmer.TermCounts, n)
+		tsLists := make([]kmer.TermCounts, n)
 		for src := 0; src < n; src++ {
 			recs = append(recs, buckets[src].recs[dst]...)
+			tpLists[src] = buckets[src].tp[dst]
+			tsLists[src] = buckets[src].ts[dst]
 		}
 		sc.RecordsToNode[dst] = int64(len(recs))
-		sort.Slice(recs, func(i, j int) bool { return recs[i].Km < recs[j].Km })
+		kmer.SortCounted(recs)
 		res := &kmer.Result{
 			K:          cfg.K,
-			TermPrefix: make(map[dna.Kmer]uint32),
-			TermSuffix: make(map[dna.Kmer]uint32),
+			TermPrefix: kmer.MergeTerms(tpLists),
+			TermSuffix: kmer.MergeTerms(tsLists),
 		}
 		i := 0
 		for i < len(recs) {
@@ -156,14 +175,6 @@ func CountSharded(reads []readsim.Read, cfg Config) (*ShardedCount, error) {
 			}
 			i = j
 		}
-		for src := 0; src < n; src++ {
-			for km, c := range buckets[src].tp[dst] {
-				res.TermPrefix[km] += c
-			}
-			for km, c := range buckets[src].ts[dst] {
-				res.TermSuffix[km] += c
-			}
-		}
 		sc.Shards[dst] = res
 	})
 	return sc, nil
@@ -172,24 +183,25 @@ func CountSharded(reads []readsim.Read, cfg Config) (*ShardedCount, error) {
 // Merge reassembles the global counting result from the shards; the output
 // is ordered and structured exactly like kmer.Count's.
 func (sc *ShardedCount) Merge() *kmer.Result {
-	res := &kmer.Result{
-		K:          sc.K,
-		TermPrefix: make(map[dna.Kmer]uint32),
-		TermSuffix: make(map[dna.Kmer]uint32),
+	res := &kmer.Result{K: sc.K}
+	total := 0
+	tpLists := make([]kmer.TermCounts, 0, len(sc.Shards))
+	tsLists := make([]kmer.TermCounts, 0, len(sc.Shards))
+	for _, sh := range sc.Shards {
+		total += len(sh.Kmers)
+		tpLists = append(tpLists, sh.TermPrefix)
+		tsLists = append(tsLists, sh.TermSuffix)
 	}
+	res.Kmers = make([]kmer.Counted, 0, total)
 	for _, sh := range sc.Shards {
 		res.Kmers = append(res.Kmers, sh.Kmers...)
 		res.TotalExtracted += sh.TotalExtracted
 		res.PrunedKinds += sh.PrunedKinds
 		res.PrunedMass += sh.PrunedMass
-		for km, c := range sh.TermPrefix {
-			res.TermPrefix[km] += c
-		}
-		for km, c := range sh.TermSuffix {
-			res.TermSuffix[km] += c
-		}
 	}
-	sort.Slice(res.Kmers, func(i, j int) bool { return res.Kmers[i].Km < res.Kmers[j].Km })
+	kmer.SortCounted(res.Kmers)
+	res.TermPrefix = kmer.MergeTerms(tpLists)
+	res.TermSuffix = kmer.MergeTerms(tsLists)
 	return res
 }
 

@@ -57,6 +57,15 @@ func (lc LinkConfig) Exchange(n int, bytes [][]int64) ExchangeStats {
 		return st
 	}
 	eng := &sim.Engine{}
+	msgs := 0
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if dst != src && bytes[src][dst] > 0 {
+				msgs++
+			}
+		}
+	}
+	eng.Reserve(msgs)
 	egress := make([]sim.Cycle, n)
 	ingress := make([]sim.Cycle, n)
 	finish := sim.Cycle(0)

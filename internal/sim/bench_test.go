@@ -1,0 +1,12 @@
+package sim_test
+
+import (
+	"testing"
+
+	"nmppak/internal/benchsuite"
+)
+
+// BenchmarkEventKernel exercises the scheduler under a self-refilling
+// event population; the body lives in internal/benchsuite so cmd/bench
+// regenerates the same number for BENCH_*.json.
+func BenchmarkEventKernel(b *testing.B) { benchsuite.EventKernel(b) }
