@@ -68,3 +68,11 @@ func BenchmarkAblationNoHybrid(b *testing.B) { benchsuite.Run(b, "AblationNoHybr
 // BenchmarkKmerCount measures one optimized counting pass over the quick
 // workload's reads (the §4.5 software path in isolation).
 func BenchmarkKmerCount(b *testing.B) { benchsuite.Run(b, "KmerCount") }
+
+// BenchmarkScaleOut8xBSP measures the 8-node distributed pipeline with
+// BSP supersteps (compute, exchange, barrier every iteration).
+func BenchmarkScaleOut8xBSP(b *testing.B) { benchsuite.Run(b, "ScaleOut8xBSP") }
+
+// BenchmarkScaleOut8xOverlap measures the same machine under the
+// overlapped halo-exchange runtime.
+func BenchmarkScaleOut8xOverlap(b *testing.B) { benchsuite.Run(b, "ScaleOut8xOverlap") }

@@ -3,8 +3,8 @@
 // testing.Benchmark and writes a machine-readable JSON baseline, giving
 // every PR a recorded perf datum to be judged against:
 //
-//	go run ./cmd/bench -out BENCH_PR2.json            # full run
-//	go run ./cmd/bench -bench 'Fig5|EventKernel'      # subset
+//	go run ./cmd/bench -out BENCH_PR3.json            # full run
+//	go run ./cmd/bench -bench 'Fig5|ScaleOut8x'       # subset
 //	go run ./cmd/bench -benchtime 1x -out /dev/null   # smoke test
 package main
 
@@ -28,6 +28,9 @@ type record struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+	// Extra carries benchmark-reported metrics (testing.B.ReportMetric),
+	// e.g. the scale-out benchmarks' comm_frac and model_cycles.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 type baseline struct {
@@ -42,7 +45,7 @@ type baseline struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR2.json", "output JSON path ('-' for stdout only)")
+	out := flag.String("out", "BENCH_PR3.json", "output JSON path ('-' for stdout only)")
 	benchRe := flag.String("bench", ".", "regexp selecting benchmark names")
 	benchtime := flag.String("benchtime", "2s", "per-benchmark time budget (Go test -benchtime syntax)")
 	list := flag.Bool("list", false, "list benchmark names and exit")
@@ -95,6 +98,12 @@ func main() {
 		}
 		if r.Bytes > 0 && r.T > 0 {
 			rec.MBPerSec = float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
+		}
+		if len(r.Extra) > 0 {
+			rec.Extra = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				rec.Extra[k] = v
+			}
 		}
 		base.Benchmarks = append(base.Benchmarks, rec)
 		fmt.Printf("%-24s %12.0f ns/op %12d B/op %10d allocs/op\n",

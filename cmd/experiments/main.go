@@ -7,8 +7,10 @@
 //
 // where <id> is one of: fig5 fig6 fig7 fig8 fig12 fig13 fig14 fig15
 // table1 table3 comm super hybrid footprint gpucap swopt ablation
-// scaling. The -scaling flag is shorthand for the scaling study (the
-// multi-node scale-out strong/weak-scaling report).
+// scaling. The -scaling flag is shorthand for the scaling study: the
+// multi-node scale-out strong/weak-scaling report, including the
+// overlapped-halo-exchange-vs-BSP comparison and the partitioner sweep
+// (hash / minimizer / weight-aware balanced) on a repeat-heavy workload.
 package main
 
 import (
@@ -26,7 +28,7 @@ func main() {
 	var (
 		quick   = flag.Bool("quick", false, "use the small test workload")
 		scale   = flag.Int("scale", 0, "override genome length (bp)")
-		scaling = flag.Bool("scaling", false, "run the multi-node scale-out scaling study")
+		scaling = flag.Bool("scaling", false, "run the multi-node scale-out scaling study (BSP vs. overlap, partitioner sweep)")
 	)
 	flag.Parse()
 	if (flag.NArg() != 1 && !*scaling) || (flag.NArg() > 0 && *scaling) {

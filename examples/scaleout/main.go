@@ -1,7 +1,10 @@
 // Scale-out: capture one compaction trace, then replay it on 1-8 virtual
 // NMP-PaK nodes joined by a 25 GB/s mesh — distributed k-mer counting,
-// distributed MacroNode construction, and lockstep Iterative Compaction
-// with halo exchange — and print the strong-scaling curve.
+// distributed MacroNode construction, and distributed Iterative
+// Compaction with halo exchange. Prints the strong-scaling curve under
+// both replay disciplines (BSP supersteps vs. overlapped halo exchange)
+// and a partitioner comparison (hash / minimizer / weight-aware balanced)
+// at the largest machine.
 package main
 
 import (
@@ -12,7 +15,10 @@ import (
 )
 
 func main() {
-	g, err := nmppak.GenerateGenome(nmppak.GenomeConfig{Length: 200_000, Seed: 1})
+	g, err := nmppak.GenerateGenome(nmppak.GenomeConfig{
+		Length: 200_000, Seed: 1,
+		RepeatFraction: 0.3, RepeatUnit: 200, // some skew so partitioning matters
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -30,25 +36,57 @@ func main() {
 		g.TotalLength(), len(reads), len(tr.Iterations))
 
 	var base, res *nmppak.ScaleOutResult
-	fmt.Println("nodes  total ms  speedup  efficiency  comm    remote TNs  imbalance")
+	fmt.Println("nodes  mode     total ms  speedup  efficiency  comm    remote TNs  imbalance")
 	for _, n := range []int{1, 2, 4, 8} {
-		cfg := nmppak.DefaultScaleOutConfig(n)
-		res, err = nmppak.SimulateScaleOut(reads, tr, cfg)
-		if err != nil {
-			log.Fatal(err)
+		for _, overlap := range []bool{false, true} {
+			cfg := nmppak.DefaultScaleOutConfig(n)
+			cfg.Overlap = overlap
+			res, err = nmppak.SimulateScaleOut(reads, tr, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if base == nil {
+				base = res
+			}
+			mode := "bsp"
+			if overlap {
+				mode = "overlap"
+			}
+			fmt.Printf("%5d  %-7s  %8.3f  %6.2fx  %9.1f%%  %5.1f%%  %9.1f%%  %9.2f\n",
+				n, mode, res.Seconds*1e3, res.Speedup(base), res.Efficiency(base)*100,
+				res.CommFraction*100, res.RemoteTNFrac*100, res.Imbalance)
 		}
-		if base == nil {
-			base = res
-		}
-		fmt.Printf("%5d  %8.3f  %6.2fx  %9.1f%%  %5.1f%%  %9.1f%%  %9.2f\n",
-			n, res.Seconds*1e3, res.Speedup(base), res.Efficiency(base)*100,
-			res.CommFraction*100, res.RemoteTNFrac*100, res.Imbalance)
 	}
-	fmt.Printf("\nphases at %d nodes (cycles):\n", res.Nodes)
+	fmt.Printf("\nphases at %d nodes, overlapped (cycles):\n", res.Nodes)
 	fmt.Printf("  count      compute %10d  exchange %8d  barrier %6d\n",
 		res.Count.Compute, res.Count.Exchange, res.Count.Barrier)
 	fmt.Printf("  construct  compute %10d  exchange %8d  barrier %6d\n",
 		res.Construct.Compute, res.Construct.Exchange, res.Construct.Barrier)
-	fmt.Printf("  compact    compute %10d  exchange %8d  barrier %6d\n",
+	fmt.Printf("  compact    compute %10d  exposed  %8d  barrier %6d\n",
 		res.Compact.Compute, res.Compact.Exchange, res.Compact.Barrier)
+
+	// Partitioner comparison at 8 nodes: the balanced partitioner bins
+	// minimizer super-buckets by the k-mer mass observed in a counting
+	// pass, recovering the minimizer scheme's locality without its load
+	// imbalance.
+	kres, err := nmppak.CountKmers(reads, 32, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npartitioner    total ms  comm    remote TNs  imbalance")
+	for _, p := range []nmppak.Partitioner{
+		nmppak.HashPartitioner{},
+		nmppak.NewMinimizerPartitioner(12),
+		nmppak.NewBalancedPartitioner(kres, 12, 8),
+	} {
+		cfg := nmppak.DefaultScaleOutConfig(8)
+		cfg.Overlap = true
+		cfg.Partitioner = p
+		r, err := nmppak.SimulateScaleOut(reads, tr, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s  %8.3f  %5.1f%%  %9.1f%%  %9.2f\n",
+			p.Name(), r.Seconds*1e3, r.CommFraction*100, r.RemoteTNFrac*100, r.Imbalance)
+	}
 }

@@ -16,6 +16,7 @@ import (
 	"nmppak/internal/gpumodel"
 	"nmppak/internal/kmer"
 	"nmppak/internal/nmp"
+	"nmppak/internal/scaleout"
 	"nmppak/internal/sim"
 	"nmppak/internal/trace"
 )
@@ -83,6 +84,8 @@ func Suite() []Case {
 		{"EventKernel", EventKernel},
 		{"KmerCount", benchKmerCount},
 		{"RadixSort1M", benchRadixSort1M},
+		{"ScaleOut8xBSP", benchScaleOut8xBSP},
+		{"ScaleOut8xOverlap", benchScaleOut8xOverlap},
 	}
 }
 
@@ -312,6 +315,36 @@ func benchKmerCount(b *testing.B) {
 		}
 	}
 }
+
+// benchScaleOut8x measures the full 8-node distributed pipeline —
+// sharded counting, shard-graph construction, and the compaction replay
+// on the event-driven runtime — under the given replay discipline,
+// reporting the communication fraction and total simulated cycles of the
+// modeled machine alongside the wall-clock cost of simulating it.
+func benchScaleOut8x(b *testing.B, overlap bool) {
+	c, t := setup()
+	cfg := scaleout.DefaultConfig(8)
+	cfg.K = c.W.K
+	cfg.MinCount = c.W.MinCount
+	cfg.Workers = c.W.Workers
+	cfg.Overlap = overlap
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last *scaleout.Result
+	for i := 0; i < b.N; i++ {
+		res, err := scaleout.Simulate(c.Reads, t, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.CommFraction, "comm_frac")
+	b.ReportMetric(float64(last.TotalCycles), "model_cycles")
+}
+
+func benchScaleOut8xBSP(b *testing.B) { benchScaleOut8x(b, false) }
+
+func benchScaleOut8xOverlap(b *testing.B) { benchScaleOut8x(b, true) }
 
 func benchRadixSort1M(b *testing.B) {
 	r := rand.New(rand.NewSource(3))

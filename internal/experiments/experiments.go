@@ -32,6 +32,12 @@ type Workload struct {
 	MinCount  uint32
 	Seed      int64
 	Workers   int
+	// RepeatFraction / RepeatUnit skew the synthetic genome with repeat
+	// families (0 = repeat-free); the scaling study's partitioner sweep
+	// uses them to build the repeat-heavy workload load balancing is
+	// judged on.
+	RepeatFraction float64
+	RepeatUnit     int
 }
 
 // DefaultWorkload is the standard experiment scale: large enough for the
@@ -64,6 +70,7 @@ type Context struct {
 	Genome *genome.Genome
 	Reads  []readsim.Read
 
+	kres      *kmer.Result
 	tr        *trace.Trace
 	deepTr    *trace.Trace
 	traceTime time.Duration
@@ -71,7 +78,10 @@ type Context struct {
 
 // NewContext generates the genome and reads.
 func NewContext(w Workload) (*Context, error) {
-	g, err := genome.Generate(genome.Config{Length: w.GenomeLen, Seed: w.Seed})
+	g, err := genome.Generate(genome.Config{
+		Length: w.GenomeLen, Seed: w.Seed,
+		RepeatFraction: w.RepeatFraction, RepeatUnit: w.RepeatUnit,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -84,13 +94,27 @@ func NewContext(w Workload) (*Context, error) {
 	return &Context{W: w, Genome: g, Reads: reads}, nil
 }
 
+// Kmers returns the workload's counting result (computed once and
+// cached; the trace capture and the weight-aware partitioners share it).
+func (c *Context) Kmers() (*kmer.Result, error) {
+	if c.kres != nil {
+		return c.kres, nil
+	}
+	res, err := kmer.Count(c.Reads, kmer.Config{K: c.W.K, Workers: c.W.Workers, MinCount: c.W.MinCount})
+	if err != nil {
+		return nil, err
+	}
+	c.kres = res
+	return res, nil
+}
+
 // Trace returns the compaction trace of the workload (single batch,
 // captured once and cached).
 func (c *Context) Trace() (*trace.Trace, error) {
 	if c.tr != nil {
 		return c.tr, nil
 	}
-	res, err := kmer.Count(c.Reads, kmer.Config{K: c.W.K, Workers: c.W.Workers, MinCount: c.W.MinCount})
+	res, err := c.Kmers()
 	if err != nil {
 		return nil, err
 	}

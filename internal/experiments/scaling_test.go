@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"nmppak/internal/nmp"
+	"nmppak/internal/scaleout"
 )
 
 func TestScalingReport(t *testing.T) {
@@ -13,8 +14,10 @@ func TestScalingReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(r.Text, "Strong scaling") || !strings.Contains(r.Text, "Weak scaling") {
-		t.Fatalf("report missing scaling tables:\n%s", r.Text)
+	for _, want := range []string{"Strong scaling", "Weak scaling", "Overlapped halo exchange", "Partitioner sweep"} {
+		if !strings.Contains(r.Text, want) {
+			t.Fatalf("report missing %q table:\n%s", want, r.Text)
+		}
 	}
 	// Scale-out must actually scale: more nodes, more speedup, and the
 	// 8-node machine must beat half of linear on this compute-heavy
@@ -46,6 +49,31 @@ func TestScalingReport(t *testing.T) {
 		t.Fatalf("N=1 compact phase %v cycles, SimulateNMP %d", got, single.Cycles)
 	}
 
+	// Overlapped halo exchange must reduce the 8-node compaction phase
+	// below BSP's (the acceptance bar for the event-driven runtime).
+	ov, bsp := r.Measured["overlap_compact_8x"], r.Measured["bsp_compact_8x"]
+	if !(0 < ov && ov < bsp) {
+		t.Fatalf("8-node overlap compact %v cycles did not beat BSP %v", ov, bsp)
+	}
+	if g := r.Measured["overlap_total_gain_8x"]; g < 1 {
+		t.Fatalf("8-node overlap end-to-end gain %.3f below 1", g)
+	}
+
+	// The weight-aware partitioner must not lose to hash on the skewed
+	// workload's load balance, and must beat the plain minimizer scheme,
+	// while keeping (most of) its communication locality.
+	ih, im, ib := r.Measured["imbalance_hash_8x"], r.Measured["imbalance_min_8x"], r.Measured["imbalance_bal_8x"]
+	if !(0 < ib && ib <= ih) {
+		t.Fatalf("balanced imbalance %.4f worse than hash %.4f on the skewed workload", ib, ih)
+	}
+	if ib > im {
+		t.Fatalf("balanced imbalance %.4f worse than plain minimizer %.4f", ib, im)
+	}
+	if r.Measured["remote_tn_bal_8x"] >= r.Measured["remote_tn_hash_8x"] {
+		t.Fatalf("balanced partitioner lost the minimizer locality: remote TNs %.3f vs hash %.3f",
+			r.Measured["remote_tn_bal_8x"], r.Measured["remote_tn_hash_8x"])
+	}
+
 	// Deterministic replays: a second run reproduces every number.
 	r2, err := Scaling(c)
 	if err != nil {
@@ -55,5 +83,88 @@ func TestScalingReport(t *testing.T) {
 		if r2.Measured[k] != v {
 			t.Fatalf("measure %q not reproducible: %v vs %v", k, v, r2.Measured[k])
 		}
+	}
+}
+
+// The per-study run cache must collapse identical configurations — the
+// 1-node baseline in particular is partitioner- and schedule-independent
+// and must be simulated exactly once.
+func TestScalingRunCache(t *testing.T) {
+	c := ctx(t)
+	sr := &scalingRuns{ctx: c, cache: map[string]*scaleout.Result{}}
+	cfg := scaleOutConfig(c.W, 1)
+	a, err := sr.run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Partitioner = scaleout.NewMinimizerPartitioner(12)
+	b, err := sr.run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("1-node baseline re-derived for an identical-timing configuration")
+	}
+	if len(sr.cache) != 1 {
+		t.Fatalf("cache holds %d entries for one distinct configuration", len(sr.cache))
+	}
+	// The replay discipline stays in the key even at n=1: totals coincide
+	// but the phase split attributes barriers differently.
+	cfg.Partitioner = scaleout.HashPartitioner{}
+	cfg.Overlap = true
+	o, err := sr.run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o == a {
+		t.Fatal("1-node overlap run shared the BSP cache entry (phase splits differ)")
+	}
+	if o.TotalCycles != a.TotalCycles {
+		t.Fatalf("1-node overlap total %d differs from BSP %d", o.TotalCycles, a.TotalCycles)
+	}
+	// Distinct configurations must not collide.
+	cfg = scaleOutConfig(c.W, 2)
+	r2, err := sr.run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Overlap = true
+	r2o, err := sr.run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 == r2o || len(sr.cache) != 4 {
+		t.Fatalf("2-node BSP and overlapped runs collided (cache size %d)", len(sr.cache))
+	}
+	// A slower link is a different configuration.
+	cfg.Link.BytesPerCycle /= 2
+	slow, err := sr.run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow == r2o || len(sr.cache) != 5 {
+		t.Fatalf("link-bandwidth variant collided (cache size %d)", len(sr.cache))
+	}
+}
+
+// Speedup and Efficiency must be guarded against a zero-cycle baseline
+// rather than reporting nonsense ratios.
+func TestSpeedupZeroBaselineGuard(t *testing.T) {
+	r := &scaleout.Result{Nodes: 8, TotalCycles: 100}
+	zero := &scaleout.Result{Nodes: 1}
+	if s := r.Speedup(zero); s != 0 {
+		t.Fatalf("Speedup over zero-cycle baseline = %v, want 0", s)
+	}
+	if e := r.Efficiency(zero); e != 0 {
+		t.Fatalf("Efficiency over zero-cycle baseline = %v, want 0", e)
+	}
+	if s := r.Speedup(nil); s != 0 {
+		t.Fatalf("Speedup over nil baseline = %v, want 0", s)
+	}
+	if e := r.Efficiency(nil); e != 0 {
+		t.Fatalf("Efficiency over nil baseline = %v, want 0", e)
+	}
+	if s := zero.Speedup(r); s != 0 {
+		t.Fatalf("zero-cycle result speedup = %v, want 0", s)
 	}
 }

@@ -1,0 +1,505 @@
+package nmp
+
+import (
+	"nmppak/internal/dram"
+	"nmppak/internal/sim"
+	"nmppak/internal/trace"
+)
+
+// nodeLoc is a MacroNode's placement in its home DIMM for one iteration:
+// consecutive 64 B blocks in one bank starting at (row, blk), never
+// straddling a row unless the node exceeds the row size. This realizes the
+// paper's layout assumption that MacroNodes sit inside the 8 KB row buffer.
+type nodeLoc struct {
+	rank, bank, row, blk, blocks int
+}
+
+// allocator packs nodes into a DIMM's rows, rotating across banks so
+// consecutive nodes enjoy bank-level parallelism.
+type allocator struct {
+	ranks, banks, rowBlocks int
+	nextBank                int
+	fill                    [][]int // [rank*banks]: blocks used in current row
+	rowAt                   []int   // current row per bank
+}
+
+func newAllocator(cfg dram.Config) *allocator {
+	n := cfg.Ranks * cfg.BanksPerRank
+	a := &allocator{
+		ranks:     cfg.Ranks,
+		banks:     cfg.BanksPerRank,
+		rowBlocks: cfg.RowBytes / dram.BlockBytes,
+	}
+	a.rowAt = make([]int, n)
+	a.fill = make([][]int, 1)
+	a.fill[0] = make([]int, n)
+	return a
+}
+
+func (a *allocator) alloc(blocks int) nodeLoc {
+	n := a.ranks * a.banks
+	b := a.nextBank
+	a.nextBank = (a.nextBank + 1) % n
+	if blocks > a.rowBlocks {
+		// Oversized node: occupies whole consecutive rows of one bank.
+		rows := (blocks + a.rowBlocks - 1) / a.rowBlocks
+		loc := nodeLoc{rank: b / a.banks, bank: b % a.banks, row: a.rowAt[b], blk: 0, blocks: blocks}
+		a.rowAt[b] += rows
+		a.fill[0][b] = 0
+		return loc
+	}
+	if a.fill[0][b]+blocks > a.rowBlocks {
+		a.rowAt[b]++
+		a.fill[0][b] = 0
+	}
+	loc := nodeLoc{rank: b / a.banks, bank: b % a.banks, row: a.rowAt[b], blk: a.fill[0][b], blocks: blocks}
+	a.fill[0][b] += blocks
+	return loc
+}
+
+// access reads or writes `blocks` blocks of a node starting at its
+// location, splitting across rows for oversized nodes.
+func access(ch *dram.Channel, earliest sim.Cycle, loc nodeLoc, blocks int, write bool) sim.Cycle {
+	if blocks <= 0 {
+		return earliest
+	}
+	rowBlocks := ch.Config().RowBytes / dram.BlockBytes
+	t := earliest
+	row, blk := loc.row, loc.blk
+	for blocks > 0 {
+		n := rowBlocks - blk
+		if n > blocks {
+			n = blocks
+		}
+		t = ch.AccessRow(t, loc.rank, loc.bank, row, n, write)
+		blocks -= n
+		row++
+		blk = 0
+	}
+	return t
+}
+
+const cpuHome = -1 // nodePE value for CPU-offloaded nodes
+
+// iterSim is the per-iteration simulation state.
+type iterSim struct {
+	eng     *sim.Engine
+	chs     []*dram.Channel
+	cfg     Config
+	tr      *trace.Trace
+	iter    *trace.Iteration
+	startAt sim.Cycle
+	res     *Result
+
+	loc     []nodeLoc
+	dimm    []int
+	homePE  []int // PE index within DIMM, or cpuHome
+	pes     [][]*pe
+	tnBySrc map[int32][]trace.TransferOp
+	upd     []updState // indexed by node idx
+
+	xbarFree  [][]sim.Cycle // [dimm][pe] output-port free time
+	bridgeOut []sim.Cycle
+	bridgeIn  []sim.Cycle
+
+	cpuQueue []cpuJob
+	cpuIdle  int
+	cpuNodes []int
+	nmpNodes int
+	lastNMP  sim.Cycle
+	lastCPU  sim.Cycle
+}
+
+type updState struct {
+	expected, arrived int
+	op                *trace.UpdateOp
+	tnBytes           int64
+}
+
+type pe struct {
+	dimm, idx   int
+	queue       []int
+	qpos        int
+	outstanding int // in-flight Stage P1 loads
+	p1CompFree  sim.Cycle
+	p2Queue     []int
+	p2Busy      bool
+	p3Queue     []int
+	p3Busy      int // in-flight Stage P3 chains
+	scratch     int64
+}
+
+type cpuJob struct {
+	node        int
+	read, write int // bytes
+	compute     sim.Cycle
+	extract     bool // invalidated node: emits its TransferNodes at completion
+}
+
+func newIterSim(eng *sim.Engine, chs []*dram.Channel, cfg Config, tr *trace.Trace, iter *trace.Iteration, start sim.Cycle, res *Result) *iterSim {
+	is := &iterSim{
+		eng: eng, chs: chs, cfg: cfg, tr: tr, iter: iter, startAt: start, res: res,
+		loc:     make([]nodeLoc, len(iter.Nodes)),
+		dimm:    make([]int, len(iter.Nodes)),
+		homePE:  make([]int, len(iter.Nodes)),
+		upd:     make([]updState, len(iter.Nodes)),
+		tnBySrc: make(map[int32][]trace.TransferOp),
+		cpuIdle: cfg.CPUThreads,
+		lastNMP: start,
+		lastCPU: start,
+	}
+	// Layout + PE assignment.
+	allocs := make([]*allocator, cfg.Channels)
+	dimmCount := make([]int, cfg.Channels)
+	for i := range allocs {
+		allocs[i] = newAllocator(cfg.DRAM)
+	}
+	is.pes = make([][]*pe, cfg.Channels)
+	for d := range is.pes {
+		is.pes[d] = make([]*pe, cfg.PEsPerChannel)
+		for p := range is.pes[d] {
+			is.pes[d][p] = &pe{dimm: d, idx: p}
+		}
+	}
+	for i := range iter.Nodes {
+		n := &iter.Nodes[i]
+		var d int
+		if cfg.StaticMapping {
+			d = tr.DIMMOf(n.Key, cfg.Channels)
+		} else {
+			d = iter.DIMMOf(n.Key, cfg.Channels)
+		}
+		is.dimm[i] = d
+		size := int(n.D1 + n.D2)
+		is.loc[i] = allocs[d].alloc(dram.BlocksFor(size))
+		if cfg.HybridThresholdBytes > 0 && size > cfg.HybridThresholdBytes {
+			is.homePE[i] = cpuHome
+			is.cpuNodes = append(is.cpuNodes, i)
+			res.NodesCPU++
+			continue
+		}
+		peIdx := dimmCount[d] % cfg.PEsPerChannel
+		dimmCount[d]++
+		is.homePE[i] = peIdx
+		is.pes[d][peIdx].queue = append(is.pes[d][peIdx].queue, i)
+		is.nmpNodes++
+		res.NodesNMP++
+	}
+	// Transfers and updates.
+	for _, tn := range iter.Transfers {
+		is.tnBySrc[tn.SrcIdx] = append(is.tnBySrc[tn.SrcIdx], tn)
+		is.upd[tn.DstIdx].expected++
+	}
+	for i := range iter.Updates {
+		u := &iter.Updates[i]
+		is.upd[u.DstIdx].op = u
+	}
+	// Interconnect ports.
+	is.xbarFree = make([][]sim.Cycle, cfg.Channels)
+	for d := range is.xbarFree {
+		is.xbarFree[d] = make([]sim.Cycle, cfg.PEsPerChannel)
+	}
+	is.bridgeOut = make([]sim.Cycle, cfg.Channels)
+	is.bridgeIn = make([]sim.Cycle, cfg.Channels)
+	return is
+}
+
+func (is *iterSim) kickoff() {
+	is.eng.At(is.startAt, func() {
+		for d := range is.pes {
+			for _, p := range is.pes[d] {
+				if len(p.queue) > 0 {
+					is.peNext(p)
+				}
+			}
+		}
+		// CPU-offloaded scans.
+		for _, i := range is.cpuNodes {
+			n := &is.iter.Nodes[i]
+			job := cpuJob{
+				node:    i,
+				read:    int(n.D1 + n.D2),
+				compute: is.cfg.CPUNodeBaseCycles + sim.Cycle(is.cfg.CPUCyclesPerByte*float64(n.D1+n.D2)),
+				extract: n.Invalidated,
+			}
+			is.cpuSubmit(job)
+		}
+		// Updates that expect no routed TransferNodes start immediately.
+		for i := range is.upd {
+			if is.upd[i].op != nil && is.upd[i].expected == 0 {
+				is.startUpdate(int32(i))
+			}
+		}
+	})
+}
+
+func maxc(a, b sim.Cycle) sim.Cycle {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (is *iterSim) p1Cycles(n *trace.NodeOp) sim.Cycle {
+	if is.cfg.IdealPE {
+		return 1
+	}
+	return is.cfg.P1Base + is.cfg.P1PerExt*sim.Cycle(n.Exts)
+}
+
+func (is *iterSim) p2Cycles(n *trace.NodeOp) sim.Cycle {
+	if is.cfg.IdealPE {
+		return 1
+	}
+	return is.cfg.P2Base + is.cfg.P2PerWire*sim.Cycle(n.Wires)
+}
+
+func (is *iterSim) p3Cycles(tns int) sim.Cycle {
+	if is.cfg.IdealPE {
+		return 1
+	}
+	return is.cfg.P3Base + is.cfg.P3PerTN*sim.Cycle(tns)
+}
+
+// peNext pumps the PE's Stage P1: up to PELoadQueueDepth MacroNode loads
+// in flight ("Buffer for next MNs" in Fig. 10), with the invalidation-check
+// ALU running behind the load stream.
+func (is *iterSim) peNext(p *pe) {
+	depth := is.cfg.PELoadQueueDepth
+	if depth < 1 {
+		depth = 1
+	}
+	for p.outstanding < depth && p.qpos < len(p.queue) {
+		i := p.queue[p.qpos]
+		p.qpos++
+		p.outstanding++
+		n := &is.iter.Nodes[i]
+		ch := is.chs[p.dimm]
+		d1Blocks := dram.BlocksFor(int(n.D1))
+		loadDone := access(ch, is.eng.Now(), is.loc[i], d1Blocks, false)
+		compDone := maxc(loadDone, p.p1CompFree) + is.p1Cycles(n)
+		p.p1CompFree = compDone
+		is.noteNMP(compDone)
+		inval := n.Invalidated
+		is.eng.At(loadDone, func() {
+			p.outstanding--
+			is.peNext(p)
+		})
+		if inval {
+			is.eng.At(compDone, func() { is.peP2(p, i) })
+		}
+	}
+}
+
+// peP2 enqueues TransferNode extraction for an invalidated node; the P2
+// unit serves one node at a time: load the wiring (data2), compute the
+// outgoing TransferNodes, route them. DRAM state is only touched at the
+// current simulation time so bank bookings stay causally ordered.
+func (is *iterSim) peP2(p *pe, i int) {
+	p.p2Queue = append(p.p2Queue, i)
+	is.pumpP2(p)
+}
+
+func (is *iterSim) pumpP2(p *pe) {
+	if p.p2Busy || len(p.p2Queue) == 0 {
+		return
+	}
+	p.p2Busy = true
+	i := p.p2Queue[0]
+	p.p2Queue = p.p2Queue[1:]
+	n := &is.iter.Nodes[i]
+	ch := is.chs[p.dimm]
+	total := dram.BlocksFor(int(n.D1 + n.D2))
+	d2Blocks := total - dram.BlocksFor(int(n.D1))
+	loc := is.loc[i]
+	loc.blk += dram.BlocksFor(int(n.D1))
+	d2Done := access(ch, is.eng.Now(), loc, d2Blocks, false)
+	p2Done := d2Done + is.p2Cycles(n)
+	is.noteNMP(p2Done)
+	is.eng.At(p2Done, func() {
+		is.routeTNs(p, i)
+		p.p2Busy = false
+		is.pumpP2(p)
+	})
+}
+
+// routeTNs sends node i's TransferNodes to their destinations through the
+// local scratchpad, the crossbar, or the network bridge (Fig. 9/10 Stage
+// P3 routing).
+func (is *iterSim) routeTNs(p *pe, i int) {
+	now := is.eng.Now()
+	for _, tn := range is.tnBySrc[int32(i)] {
+		dst := int(tn.DstIdx)
+		dstDimm := is.dimm[dst]
+		dstPE := is.homePE[dst]
+		bytes := int(tn.TNBytes)
+		var arrival sim.Cycle
+		switch {
+		case dstPE == cpuHome:
+			// Offloaded destination: the TransferNode is handed to the
+			// host through the channel interface.
+			arrival = now + is.cfg.CPUExtraLatency
+			is.res.TNInterDIMM++ // leaves the DIMM either way
+		case dstDimm == p.dimm && dstPE == p.idx:
+			arrival = now + 1
+			is.res.TNSamePE++
+		case dstDimm == p.dimm:
+			port := &is.xbarFree[dstDimm][dstPE]
+			slot := maxc(now, *port)
+			dur := sim.Cycle(float64(bytes)/is.cfg.CrossbarBytesPerCy) + 1
+			*port = slot + dur
+			arrival = slot + dur + is.cfg.CrossbarLatency
+			is.res.TNIntraDIMM++
+		default:
+			out := &is.bridgeOut[p.dimm]
+			slot := maxc(now, *out)
+			dur := sim.Cycle(float64(bytes)/is.cfg.BridgeBytesPerCy) + 1
+			*out = slot + dur
+			in := &is.bridgeIn[dstDimm]
+			slot2 := maxc(slot+dur+is.cfg.BridgeLatency, *in)
+			*in = slot2 + dur
+			arrival = slot2 + dur + is.cfg.CrossbarLatency
+			is.res.TNInterDIMM++
+		}
+		is.noteNMP(arrival)
+		is.eng.At(arrival, func() { is.deliverTN(dst, bytes) })
+	}
+}
+
+// deliverTN lands one TransferNode in the destination's scratchpad (or CPU
+// mailbox); once all TransferNodes for a destination have arrived, its
+// Stage P3 update is eligible.
+func (is *iterSim) deliverTN(dst, bytes int) {
+	st := &is.upd[dst]
+	st.arrived++
+	st.tnBytes += int64(bytes)
+	if is.homePE[dst] != cpuHome {
+		p := is.pes[is.dimm[dst]][is.homePE[dst]]
+		p.scratch += int64(bytes)
+		if p.scratch > is.res.ScratchPeakBytes {
+			is.res.ScratchPeakBytes = p.scratch
+		}
+		if p.scratch > int64(is.cfg.TNScratchBytes) {
+			is.res.ScratchOverflows++
+		}
+	}
+	if st.arrived == st.expected && st.op != nil {
+		is.startUpdate(int32(dst))
+	}
+}
+
+// startUpdate dispatches a destination update to its home PE's Stage P3 or
+// to the CPU pool for offloaded nodes.
+func (is *iterSim) startUpdate(dst int32) {
+	d := int(dst)
+	if is.homePE[d] == cpuHome {
+		op := is.upd[d].op
+		is.cpuSubmit(cpuJob{
+			node:    d,
+			read:    int(op.ReadBytes),
+			write:   int(op.WriteBytes),
+			compute: is.cfg.CPUNodeBaseCycles + sim.Cycle(is.cfg.CPUCyclesPerByte*float64(op.ReadBytes+op.WriteBytes)),
+		})
+		return
+	}
+	p := is.pes[is.dimm[d]][is.homePE[d]]
+	p.p3Queue = append(p.p3Queue, d)
+	is.pumpP3(p)
+}
+
+// pumpP3 runs the PE's Stage P3 server: read the destination node, apply
+// the TransferNodes, write the node back; up to P3QueueDepth destination
+// chains overlap.
+func (is *iterSim) pumpP3(p *pe) {
+	depth := is.cfg.P3QueueDepth
+	if depth < 1 {
+		depth = 1
+	}
+	for p.p3Busy < depth && len(p.p3Queue) > 0 {
+		p.p3Busy++
+		d := p.p3Queue[0]
+		p.p3Queue = p.p3Queue[1:]
+		st := &is.upd[d]
+		ch := is.chs[p.dimm]
+		readBytes := float64(st.op.ReadBytes) * (1 - is.cfg.ForwardingHitRate)
+		rd := access(ch, is.eng.Now(), is.loc[d], dram.BlocksFor(int(readBytes)), false)
+		comp := rd + is.p3Cycles(st.expected)
+		tnBytes := st.tnBytes
+		loc := is.loc[d]
+		wrBlocks := dram.BlocksFor(int(st.op.WriteBytes))
+		is.eng.At(comp, func() {
+			// The write-back is posted: it reserves bank and bus time (at
+			// the moment it is issued) but the PE does not stall on it.
+			wr := access(ch, is.eng.Now(), loc, wrBlocks, true)
+			is.noteNMP(wr)
+			p.scratch -= tnBytes
+			p.p3Busy--
+			is.pumpP3(p)
+		})
+	}
+}
+
+// cpuSubmit queues work for the host CPU thread pool (§4.3 hybrid
+// processing).
+func (is *iterSim) cpuSubmit(job cpuJob) {
+	is.cpuQueue = append(is.cpuQueue, job)
+	if is.cpuIdle > 0 {
+		is.cpuIdle--
+		is.eng.At(is.eng.Now(), is.cpuRun)
+	}
+}
+
+// cpuRun services one CPU job at a time per logical thread.
+func (is *iterSim) cpuRun() {
+	if len(is.cpuQueue) == 0 {
+		is.cpuIdle++
+		return
+	}
+	job := is.cpuQueue[0]
+	is.cpuQueue = is.cpuQueue[1:]
+	ch := is.chs[is.dimm[job.node]]
+	t := access(ch, is.eng.Now(), is.loc[job.node], dram.BlocksFor(job.read), false)
+	t += is.cfg.CPUExtraLatency + job.compute
+	node := job.node
+	extract := job.extract
+	write := job.write
+	is.eng.At(t, func() {
+		done := is.eng.Now()
+		if write > 0 {
+			done = access(ch, done, is.loc[node], dram.BlocksFor(write), true) + is.cfg.CPUExtraLatency
+		}
+		is.noteCPU(done)
+		is.eng.At(done, func() {
+			if extract {
+				is.cpuExtract(node)
+			}
+			is.cpuRun()
+		})
+	})
+}
+
+// cpuExtract emits an offloaded invalidated node's TransferNodes; they
+// reach NMP-resident destinations through the channel interface without
+// crossbar contention.
+func (is *iterSim) cpuExtract(i int) {
+	now := is.eng.Now()
+	for _, tn := range is.tnBySrc[int32(i)] {
+		dst := int(tn.DstIdx)
+		bytes := int(tn.TNBytes)
+		arrival := now + is.cfg.CPUExtraLatency
+		is.noteCPU(arrival)
+		is.eng.At(arrival, func() { is.deliverTN(dst, bytes) })
+	}
+}
+
+func (is *iterSim) noteNMP(t sim.Cycle) {
+	if t > is.lastNMP {
+		is.lastNMP = t
+	}
+}
+
+func (is *iterSim) noteCPU(t sim.Cycle) {
+	if t > is.lastCPU {
+		is.lastCPU = t
+	}
+}

@@ -103,6 +103,15 @@ func Bar(title string, labels []string, values []float64, maxWidth int) string {
 // Percent formats a fraction as a percentage.
 func Percent(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
 
+// Ratio formats a speedup-style ratio (base over value, e.g. "1.34x");
+// a zero denominator renders as "-".
+func Ratio(base, value float64) string {
+	if value == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", base/value)
+}
+
 // Scaling renders a scaling study as a table: one row per node count with
 // total cycles, speedup and parallel efficiency relative to the first row,
 // and the communication fraction. For a strong-scaling study pass the same

@@ -1,0 +1,271 @@
+// The distributed compaction runtime: N stepwise per-node NMP engines
+// (nmp.Engine) and the interconnect driven together on one shared
+// internal/sim event timeline, replacing the post-hoc per-phase
+// aggregation the package started with. Two execution disciplines share
+// the machinery:
+//
+//   - BSP (Config.Overlap == false, the default): every iteration is a
+//     global superstep — all nodes compute, the slowest paces the step,
+//     the iteration's halo exchange runs serially on the links, and a
+//     log-tree barrier plus the NMP runtime's own sync barrier close the
+//     step. This reproduces the original aggregation model cycle for
+//     cycle (TestGoldenEquivalence pins it).
+//   - Overlapped (Config.Overlap == true): a node that finishes iteration
+//     i immediately streams its outgoing halo bytes while lagging nodes
+//     are still computing, and only the dependent work waits — node j may
+//     begin iteration i+1 as soon as (a) its own iteration i ended plus
+//     the local sync barrier and (b) every iteration-i halo message
+//     destined to j has been delivered. There is no global barrier; the
+//     links use the same per-port store-and-forward occupancy discipline
+//     as LinkConfig.Exchange.
+//
+// In both modes each engine advances on its local back-to-back clock
+// (identical to nmp.Simulate), so per-iteration durations — and therefore
+// every per-node Result — are identical across modes; the modes differ
+// only in how those durations and the halo traffic compose on the global
+// timeline. That makes the BSP/overlap comparison exact: same compute,
+// different schedule.
+package scaleout
+
+import (
+	"nmppak/internal/nmp"
+	"nmppak/internal/par"
+	"nmppak/internal/sim"
+)
+
+// compactOutcome is the compaction phase as scheduled by the runtime.
+type compactOutcome struct {
+	Phase          PhaseCycles
+	LinkBarrier    sim.Cycle // interconnect share of Phase.Barrier
+	ExchangedBytes int64
+	NMP            []*nmp.Result
+	// Durations[i][it] is node i's compute time for iteration it.
+	Durations [][]sim.Cycle
+}
+
+// runtime owns the per-node engines and the shard schedule.
+type runtime struct {
+	cfg   Config
+	st    *ShardedTrace
+	n     int
+	iters int
+
+	engines   []*nmp.Engine
+	durations [][]sim.Cycle
+}
+
+func newRuntime(st *ShardedTrace, cfg Config) (*runtime, error) {
+	rt := &runtime{
+		cfg:       cfg,
+		st:        st,
+		n:         cfg.Nodes,
+		iters:     len(st.Traces[0].Iterations),
+		engines:   make([]*nmp.Engine, cfg.Nodes),
+		durations: make([][]sim.Cycle, cfg.Nodes),
+	}
+	for i := range rt.engines {
+		e, err := nmp.NewEngine(st.Traces[i], cfg.NMP)
+		if err != nil {
+			return nil, err
+		}
+		rt.engines[i] = e
+		rt.durations[i] = make([]sim.Cycle, len(st.Traces[0].Iterations))
+	}
+	return rt, nil
+}
+
+// step advances node i by one iteration on its local clock and records the
+// duration. The overlapped scheduler calls this lazily from inside global
+// events — serially, unlike runBSP's per-superstep fan-out — which is what
+// lets interconnect events interleave with engine stepping on one
+// timeline; the replay is a small share of Simulate's wall-clock (the
+// software phases dominate), so the lost fan-out is not measurable in the
+// ScaleOut8x benchmarks.
+func (rt *runtime) step(i int) sim.Cycle {
+	e := rt.engines[i]
+	it := e.Next()
+	ti := e.StepIteration(e.NextStart())
+	d := ti.End - ti.Start
+	rt.durations[i][it] = d
+	return d
+}
+
+// run executes the compaction phase under the configured discipline.
+func (rt *runtime) run() *compactOutcome {
+	var out *compactOutcome
+	if rt.cfg.Overlap {
+		out = rt.runOverlapped()
+	} else {
+		out = rt.runBSP()
+	}
+	out.Durations = rt.durations
+	out.NMP = make([]*nmp.Result, rt.n)
+	for i, e := range rt.engines {
+		out.NMP[i] = e.Result()
+	}
+	return out
+}
+
+// runBSP drives the engines superstep by superstep: all nodes step
+// iteration it (concurrently — the engines are independent), the slowest
+// node paces the step, then the iteration's halo exchange and the closing
+// barriers are appended serially, exactly as the original aggregation
+// loop priced them.
+func (rt *runtime) runBSP() *compactOutcome {
+	out := &compactOutcome{}
+	var compute, exchange sim.Cycle
+	for it := 0; it < rt.iters; it++ {
+		slowest := make([]sim.Cycle, rt.n)
+		par.ForIdx(rt.n, rt.cfg.Workers, func(i int) {
+			slowest[i] = rt.step(i)
+		})
+		var max sim.Cycle
+		for _, d := range slowest {
+			if d > max {
+				max = d
+			}
+		}
+		compute += max
+		hx := rt.cfg.Link.Exchange(rt.n, rt.st.Halo[it])
+		exchange += hx.Cycles
+		out.ExchangedBytes += hx.TotalBytes
+	}
+	var linkBarrier, syncBarrier sim.Cycle
+	if rt.iters > 1 {
+		linkBarrier = sim.Cycle(rt.iters-1) * rt.cfg.Link.BarrierCycles(rt.n)
+		syncBarrier = sim.Cycle(rt.iters-1) * rt.cfg.NMP.SyncBarrierCycles
+	}
+	out.Phase = PhaseCycles{Compute: compute, Exchange: exchange, Barrier: linkBarrier + syncBarrier}
+	out.LinkBarrier = linkBarrier
+	return out
+}
+
+// ovNode is one node's overlap-mode scheduling state on the global
+// timeline.
+type ovNode struct {
+	egressFree  sim.Cycle // output port busy-until
+	ingressFree sim.Cycle // input port busy-until
+	// pendingIn[it] counts halo messages of iteration it still in flight
+	// toward this node.
+	pendingIn []int
+	// readyAt is when the node's own compute-side constraint for its next
+	// iteration is satisfied (previous end + sync barrier).
+	readyAt sim.Cycle
+	// finished[it] is set once the node's iteration it has completed.
+	finished []bool
+	started  []bool
+}
+
+// runOverlapped schedules the same per-node iteration durations
+// event-driven: finishing nodes stream their halo bytes while laggards
+// compute, and each node's next iteration waits only on its own finish
+// (plus sync barrier) and on the delivery of the halo traffic it depends
+// on. The phase is split as Compute = the slowest node's unconstrained
+// local chain (what a zero-cost interconnect would yield) and Exchange =
+// the communication time the schedule failed to hide.
+func (rt *runtime) runOverlapped() *compactOutcome {
+	out := &compactOutcome{}
+	n, iters := rt.n, rt.iters
+	if iters == 0 {
+		return out
+	}
+	g := &sim.Engine{}
+	nodes := make([]*ovNode, n)
+	for i := range nodes {
+		nodes[i] = &ovNode{
+			pendingIn: make([]int, iters),
+			finished:  make([]bool, iters),
+			started:   make([]bool, iters),
+		}
+	}
+	for it := 0; it < iters; it++ {
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				if dst != src && rt.st.Halo[it][src][dst] > 0 {
+					nodes[dst].pendingIn[it]++
+					out.ExchangedBytes += rt.st.Halo[it][src][dst]
+				}
+			}
+		}
+	}
+	lc := rt.cfg.Link
+	var makespan sim.Cycle
+	note := func(t sim.Cycle) {
+		if t > makespan {
+			makespan = t
+		}
+	}
+
+	var begin func(i, it int, at sim.Cycle)
+	// tryStart launches node i's iteration it once both its compute-side
+	// and delivery-side dependencies have resolved; the triggering event
+	// supplies the later of the two times.
+	tryStart := func(i, it int) {
+		nd := nodes[i]
+		if it >= iters || nd.started[it] || !nd.finished[it-1] || nd.pendingIn[it-1] > 0 {
+			return
+		}
+		nd.started[it] = true
+		at := nd.readyAt
+		if now := g.Now(); now > at {
+			at = now
+		}
+		begin(i, it, at)
+	}
+	finish := func(i, it int) {
+		nd := nodes[i]
+		now := g.Now()
+		nd.finished[it] = true
+		note(now)
+		// Stream this iteration's outgoing halo on the egress port; each
+		// message is store-and-forwarded through the destination's ingress
+		// port, the same occupancy discipline LinkConfig.Exchange uses.
+		for off := 1; off < n; off++ {
+			dst := (i + off) % n
+			b := rt.st.Halo[it][i][dst]
+			if b <= 0 {
+				continue
+			}
+			slot := max(now, nd.egressFree)
+			dur := sim.Cycle(float64(b)/lc.BytesPerCycle) + 1
+			nd.egressFree = slot + dur
+			d := dst
+			g.At(slot+dur+lc.LatencyCycles, func() {
+				rn := nodes[d]
+				slot2 := max(g.Now(), rn.ingressFree)
+				rn.ingressFree = slot2 + dur
+				g.At(slot2+dur, func() {
+					note(g.Now())
+					rn.pendingIn[it]--
+					tryStart(d, it+1)
+				})
+			})
+		}
+		if it+1 < iters {
+			nd.readyAt = now + rt.cfg.NMP.SyncBarrierCycles
+			tryStart(i, it+1)
+		}
+	}
+	begin = func(i, it int, at sim.Cycle) {
+		g.At(at, func() {
+			d := rt.step(i)
+			g.After(d, func() { finish(i, it) })
+		})
+	}
+	for i := 0; i < n; i++ {
+		nodes[i].started[0] = true
+		begin(i, 0, 0)
+	}
+	g.Run()
+
+	// The unconstrained local chains are what a free interconnect would
+	// run; anything beyond the slowest of them is exposed communication.
+	var compute sim.Cycle
+	for _, e := range rt.engines {
+		if e.Now() > compute {
+			compute = e.Now()
+		}
+	}
+	out.Phase = PhaseCycles{Compute: compute, Exchange: makespan - compute, Barrier: 0}
+	return out
+}

@@ -33,8 +33,8 @@ import (
 	"fmt"
 	"math"
 
+	"nmppak/internal/dna"
 	"nmppak/internal/nmp"
-	"nmppak/internal/par"
 	"nmppak/internal/readsim"
 	"nmppak/internal/sim"
 	"nmppak/internal/trace"
@@ -72,6 +72,13 @@ type Config struct {
 
 	Partitioner Partitioner
 	Link        LinkConfig
+	// Overlap selects the compaction-replay discipline: false (default)
+	// runs BSP supersteps — compute, then exchange, then barrier — while
+	// true streams each node's halo bytes as soon as it finishes an
+	// iteration and lets the next iteration wait only on the deliveries it
+	// depends on (see runtime.go). Counting and construction are bulk
+	// all-to-alls either way.
+	Overlap bool
 	// NMP is the per-node hardware model; every virtual node runs a full
 	// copy.
 	NMP      nmp.Config
@@ -96,6 +103,12 @@ func DefaultConfig(n int) Config {
 func (c Config) Validate() error {
 	if c.Nodes < 1 {
 		return fmt.Errorf("scaleout: Nodes must be >= 1, got %d", c.Nodes)
+	}
+	if c.K < 1 || c.K > dna.MaxK {
+		return fmt.Errorf("scaleout: K must be in [1, %d], got %d", dna.MaxK, c.K)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("scaleout: Workers must be >= 0, got %d", c.Workers)
 	}
 	if c.Partitioner == nil {
 		return fmt.Errorf("scaleout: Partitioner must be set")
@@ -155,16 +168,21 @@ type Result struct {
 }
 
 // Speedup computes r's speedup over a baseline (typically the 1-node run
-// of the same workload).
+// of the same workload). A missing or zero-cycle baseline — an empty
+// trace, for instance — yields 0 rather than a meaningless ratio.
 func (r *Result) Speedup(base *Result) float64 {
-	if r.TotalCycles == 0 {
+	if r.TotalCycles == 0 || base == nil || base.TotalCycles == 0 {
 		return 0
 	}
 	return float64(base.TotalCycles) / float64(r.TotalCycles)
 }
 
-// Efficiency is Speedup divided by the node ratio.
+// Efficiency is Speedup divided by the node ratio, with the same
+// zero-baseline guard.
 func (r *Result) Efficiency(base *Result) float64 {
+	if base == nil || r.Nodes == 0 {
+		return 0
+	}
 	return r.Speedup(base) * float64(base.Nodes) / float64(r.Nodes)
 }
 
@@ -233,55 +251,34 @@ func Simulate(reads []readsim.Read, tr *trace.Trace, cfg Config) (*Result, error
 	res.Construct = PhaseCycles{Compute: construct, Exchange: gx.Cycles, Barrier: cfg.Link.BarrierCycles(n)}
 	res.ExchangedBytes += gx.TotalBytes
 
-	// Phase 3: lockstep compaction replay. Each node replays its shard of
-	// the trace on its own NMP system; the slowest node paces every
-	// iteration, the iteration's halo exchange follows, and the iteration
-	// closes with the runtime's sync barrier plus the interconnect
-	// barrier.
+	// Phase 3: compaction replay on the distributed runtime — N stepwise
+	// per-node engines and the interconnect on one shared event timeline,
+	// scheduled BSP or overlapped per cfg.Overlap (see runtime.go).
 	st := ShardTrace(tr, n, cfg.Partitioner)
 	res.HaloBytes = st.HaloBytes
 	res.RemoteTNFrac = st.RemoteTNFrac()
-	res.NMP = make([]*nmp.Result, n)
-	errs := make([]error, n)
-	par.ForIdx(n, cfg.Workers, func(i int) {
-		res.NMP[i], errs[i] = nmp.Simulate(st.Traces[i], cfg.NMP)
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	rt, err := newRuntime(st, cfg)
+	if err != nil {
+		return nil, err
 	}
-	iters := len(tr.Iterations)
-	var compactCompute, compactExchange sim.Cycle
-	for it := 0; it < iters; it++ {
-		var slowest sim.Cycle
-		for i := 0; i < n; i++ {
-			d := res.NMP[i].PerIter[it].End - res.NMP[i].PerIter[it].Start
+	co := rt.run()
+	res.NMP = co.NMP
+	res.Compact = co.Phase
+	res.ExchangedBytes += co.ExchangedBytes
+	for i := 0; i < n; i++ {
+		for _, d := range co.Durations[i] {
 			res.PerNode[i].CompactCycles += d
-			if d > slowest {
-				slowest = d
-			}
 		}
-		compactCompute += slowest
-		hx := cfg.Link.Exchange(n, st.Halo[it])
-		compactExchange += hx.Cycles
-		res.ExchangedBytes += hx.TotalBytes
 	}
-	var compactLinkBarrier, compactSyncBarrier sim.Cycle
-	if iters > 1 {
-		compactLinkBarrier = sim.Cycle(iters-1) * cfg.Link.BarrierCycles(n)
-		compactSyncBarrier = sim.Cycle(iters-1) * cfg.NMP.SyncBarrierCycles
-	}
-	res.Compact = PhaseCycles{Compute: compactCompute, Exchange: compactExchange,
-		Barrier: compactLinkBarrier + compactSyncBarrier}
 
 	res.TotalCycles = res.Count.Total() + res.Construct.Total() + res.Compact.Total()
 	res.Seconds = sim.Seconds(res.TotalCycles)
 	// Communication = interconnect time: the exchanges plus the
 	// interconnect share of every barrier (the NMP runtime's own sync
-	// barrier exists on a single node too, so it stays out).
+	// barrier exists on a single node too, so it stays out; in overlapped
+	// mode Compact.Exchange is the exposed — unhidden — link time).
 	res.CommCycles = res.Count.Exchange + res.Construct.Exchange + res.Compact.Exchange +
-		res.Count.Barrier + res.Construct.Barrier + compactLinkBarrier
+		res.Count.Barrier + res.Construct.Barrier + co.LinkBarrier
 	if res.TotalCycles > 0 {
 		res.CommFraction = float64(res.CommCycles) / float64(res.TotalCycles)
 	}

@@ -69,6 +69,25 @@ type (
 	ScaleOutConfig = scaleout.Config
 	// ScaleOutResult is the scale-out simulation outcome.
 	ScaleOutResult = scaleout.Result
+	// NMPEngine is the resumable stepwise NMP simulator: one compaction
+	// iteration per StepIteration call, for drivers that interleave their
+	// own events between iterations (SimulateNMP is a thin loop over it).
+	NMPEngine = nmp.Engine
+	// Partitioner assigns k-mer and MacroNode-key ownership to scale-out
+	// nodes; ownership is a pure function of the key.
+	Partitioner = scaleout.Partitioner
+	// HashPartitioner scatters every key independently (maximal balance,
+	// no locality).
+	HashPartitioner = scaleout.HashPartitioner
+	// MinimizerPartitioner co-locates keys sharing a minimizer
+	// (communication locality at some load-balance cost).
+	MinimizerPartitioner = scaleout.MinimizerPartitioner
+	// BalancedPartitioner greedy-bins minimizer super-buckets by observed
+	// k-mer mass (locality and balance; built from a counting result).
+	BalancedPartitioner = scaleout.BalancedPartitioner
+	// KmerResult is a counting outcome (input to BuildGraph and
+	// NewBalancedPartitioner).
+	KmerResult = kmer.Result
 )
 
 // GenerateGenome synthesizes a reference genome.
@@ -121,17 +140,36 @@ func DefaultGPUConfig() GPUConfig { return gpumodel.A100_40GB() }
 // SimulateGPU replays a compaction trace on the GPU baseline model.
 func SimulateGPU(tr *Trace, cfg GPUConfig) (*GPUResult, error) { return gpumodel.Simulate(tr, cfg) }
 
+// NewNMPEngine prepares a resumable stepwise replay of tr; drive it with
+// StepIteration/NextStart and seal with Result.
+func NewNMPEngine(tr *Trace, cfg NMPConfig) (*NMPEngine, error) { return nmp.NewEngine(tr, cfg) }
+
 // DefaultScaleOutConfig returns an n-node scale-out system: paper-default
-// NMP nodes joined by a 25 GB/s full-mesh interconnect, hash-partitioned.
+// NMP nodes joined by a 25 GB/s full-mesh interconnect, hash-partitioned,
+// BSP replay (set Overlap for the overlapped halo-exchange runtime).
 func DefaultScaleOutConfig(nodes int) ScaleOutConfig { return scaleout.DefaultConfig(nodes) }
 
 // SimulateScaleOut runs the sharded multi-node pipeline — distributed
-// k-mer counting, distributed MacroNode construction, and a lockstep
-// per-iteration replay of the compaction trace with halo exchange —
-// returning per-phase and per-node timing. With nodes == 1 the compaction
-// phase equals SimulateNMP on the same trace exactly.
+// k-mer counting, distributed MacroNode construction, and a distributed
+// per-iteration replay of the compaction trace with halo exchange (BSP
+// supersteps by default, overlapped when cfg.Overlap is set) — returning
+// per-phase and per-node timing. With nodes == 1 the compaction phase
+// equals SimulateNMP on the same trace exactly, in either mode.
 func SimulateScaleOut(reads []Read, tr *Trace, cfg ScaleOutConfig) (*ScaleOutResult, error) {
 	return scaleout.Simulate(reads, tr, cfg)
+}
+
+// NewMinimizerPartitioner returns a minimizer partitioner with m-mer
+// length m.
+func NewMinimizerPartitioner(m int) MinimizerPartitioner {
+	return scaleout.NewMinimizerPartitioner(m)
+}
+
+// NewBalancedPartitioner builds a weight-aware partitioner for an n-node
+// machine from a counting result (see CountKmers), binning minimizer
+// super-buckets by observed k-mer mass.
+func NewBalancedPartitioner(res *KmerResult, m, nodes int) BalancedPartitioner {
+	return scaleout.NewBalancedPartitioner(res, m, nodes)
 }
 
 // ParseSeq parses an ASCII DNA string.

@@ -57,6 +57,67 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 }
 
+// TestPublicScaleOutAPI drives the distributed-runtime surface: the
+// stepwise engine, both replay disciplines and all three partitioners.
+func TestPublicScaleOutAPI(t *testing.T) {
+	g, err := nmppak.GenerateGenome(nmppak.GenomeConfig{Length: 20000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, err := nmppak.SimulateReads(g, nmppak.ReadConfig{ReadLen: 100, Coverage: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _, err := nmppak.CaptureTrace(reads, 32, 0, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stepwise engine == SimulateNMP.
+	want, err := nmppak.SimulateNMP(tr, nmppak.DefaultNMPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := nmppak.NewNMPEngine(tr, nmppak.DefaultNMPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !e.Done() {
+		e.StepIteration(e.NextStart())
+	}
+	if got := e.Result(); got.Cycles != want.Cycles {
+		t.Fatalf("stepwise engine %d cycles, SimulateNMP %d", got.Cycles, want.Cycles)
+	}
+
+	// BSP vs overlapped on every partitioner.
+	res, err := nmppak.CountKmers(reads, 32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []nmppak.Partitioner{
+		nmppak.HashPartitioner{},
+		nmppak.NewMinimizerPartitioner(12),
+		nmppak.NewBalancedPartitioner(res, 12, 4),
+	} {
+		cfg := nmppak.DefaultScaleOutConfig(4)
+		cfg.MinCount = 1
+		cfg.Partitioner = p
+		bsp, err := nmppak.SimulateScaleOut(reads, tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Overlap = true
+		ov, err := nmppak.SimulateScaleOut(reads, tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ov.TotalCycles > bsp.TotalCycles {
+			t.Fatalf("%s: overlapped run slower than BSP (%d vs %d cycles)",
+				p.Name(), ov.TotalCycles, bsp.TotalCycles)
+		}
+	}
+}
+
 func TestKmerGraphHelpers(t *testing.T) {
 	seq, err := nmppak.ParseSeq("ACGTACGTACGTACGTACGTACGTACGTACGTACGT")
 	if err != nil {
