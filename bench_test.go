@@ -76,3 +76,12 @@ func BenchmarkScaleOut8xBSP(b *testing.B) { benchsuite.Run(b, "ScaleOut8xBSP") }
 // BenchmarkScaleOut8xOverlap measures the same machine under the
 // overlapped halo-exchange runtime.
 func BenchmarkScaleOut8xOverlap(b *testing.B) { benchsuite.Run(b, "ScaleOut8xOverlap") }
+
+// BenchmarkScaleOut8xTorus measures the BSP machine on a routed 4x2
+// torus instead of the idealized full mesh (comm_frac shows the cost of
+// dimension-order routing and shared channels).
+func BenchmarkScaleOut8xTorus(b *testing.B) { benchsuite.Run(b, "ScaleOut8xTorus") }
+
+// BenchmarkScaleOut8xDragonfly measures the BSP machine on a dragonfly
+// (all-to-all groups, per-group-pair global channels).
+func BenchmarkScaleOut8xDragonfly(b *testing.B) { benchsuite.Run(b, "ScaleOut8xDragonfly") }

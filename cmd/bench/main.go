@@ -3,7 +3,7 @@
 // testing.Benchmark and writes a machine-readable JSON baseline, giving
 // every PR a recorded perf datum to be judged against:
 //
-//	go run ./cmd/bench -out BENCH_PR3.json            # full run
+//	go run ./cmd/bench -out BENCH_PR4.json            # full run
 //	go run ./cmd/bench -bench 'Fig5|ScaleOut8x'       # subset
 //	go run ./cmd/bench -benchtime 1x -out /dev/null   # smoke test
 package main
@@ -45,7 +45,7 @@ type baseline struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR3.json", "output JSON path ('-' for stdout only)")
+	out := flag.String("out", "BENCH_PR4.json", "output JSON path ('-' for stdout only)")
 	benchRe := flag.String("bench", ".", "regexp selecting benchmark names")
 	benchtime := flag.String("benchtime", "2s", "per-benchmark time budget (Go test -benchtime syntax)")
 	list := flag.Bool("list", false, "list benchmark names and exit")

@@ -1,10 +1,12 @@
 // Scale-out: capture one compaction trace, then replay it on 1-8 virtual
-// NMP-PaK nodes joined by a 25 GB/s mesh — distributed k-mer counting,
-// distributed MacroNode construction, and distributed Iterative
+// NMP-PaK nodes joined by a 25 GB/s interconnect — distributed k-mer
+// counting, distributed MacroNode construction, and distributed Iterative
 // Compaction with halo exchange. Prints the strong-scaling curve under
-// both replay disciplines (BSP supersteps vs. overlapped halo exchange)
-// and a partitioner comparison (hash / minimizer / weight-aware balanced)
-// at the largest machine.
+// both replay disciplines (BSP supersteps vs. overlapped halo exchange),
+// a topology comparison (idealized full mesh vs. routed torus and
+// dragonfly), and a partitioner comparison (hash / minimizer /
+// weight-aware balanced / measurement-driven rebalancing) at the largest
+// machine.
 package main
 
 import (
@@ -65,28 +67,71 @@ func main() {
 	fmt.Printf("  compact    compute %10d  exposed  %8d  barrier %6d\n",
 		res.Compact.Compute, res.Compact.Exchange, res.Compact.Barrier)
 
+	// Topology comparison at 8 nodes: the same shards and traffic routed
+	// through a full mesh of dedicated wires, a 2D torus (dimension-order
+	// routing, shared channels) and a dragonfly (per-group-pair global
+	// channels). Routed contention turns the idealized mesh numbers into
+	// the honest ones.
+	fmt.Println("\ntopology       mode     total ms  comm    speedup vs mesh")
+	var meshTotal float64
+	for _, tc := range []nmppak.TopoConfig{
+		nmppak.DefaultTopo(),
+		nmppak.TorusTopo(0, 0),
+		nmppak.DragonflyTopo(0),
+	} {
+		for _, overlap := range []bool{false, true} {
+			cfg := nmppak.DefaultScaleOutConfig(8)
+			cfg.Topo = tc
+			cfg.Overlap = overlap
+			r, err := nmppak.SimulateScaleOut(reads, tr, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if meshTotal == 0 {
+				meshTotal = float64(r.TotalCycles)
+			}
+			mode := "bsp"
+			if overlap {
+				mode = "overlap"
+			}
+			fmt.Printf("%-13s  %-7s  %8.3f  %5.1f%%  %14.2fx\n",
+				r.Topology, mode, r.Seconds*1e3, r.CommFraction*100,
+				meshTotal/float64(r.TotalCycles))
+		}
+	}
+
 	// Partitioner comparison at 8 nodes: the balanced partitioner bins
 	// minimizer super-buckets by the k-mer mass observed in a counting
-	// pass, recovering the minimizer scheme's locality without its load
-	// imbalance.
+	// pass; the rebalancer starts from a plain minimizer-bucket split and
+	// migrates buckets off measured stragglers between iterations (BSP).
 	kres, err := nmppak.CountKmers(reads, 32, 3)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\npartitioner    total ms  comm    remote TNs  imbalance")
+	var static, rebalanced *nmppak.ScaleOutResult
 	for _, p := range []nmppak.Partitioner{
 		nmppak.HashPartitioner{},
 		nmppak.NewMinimizerPartitioner(12),
 		nmppak.NewBalancedPartitioner(kres, 12, 8),
+		nmppak.NewRebalancePartitioner(12, 1),
 	} {
 		cfg := nmppak.DefaultScaleOutConfig(8)
-		cfg.Overlap = true
 		cfg.Partitioner = p
 		r, err := nmppak.SimulateScaleOut(reads, tr, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-12s  %8.3f  %5.1f%%  %9.1f%%  %9.2f\n",
+		switch p.(type) {
+		case nmppak.MinimizerPartitioner:
+			static = r
+		case *nmppak.RebalancePartitioner:
+			rebalanced = r
+		}
+		fmt.Printf("%-13s  %8.3f  %5.1f%%  %9.1f%%  %9.2f\n",
 			p.Name(), r.Seconds*1e3, r.CommFraction*100, r.RemoteTNFrac*100, r.Imbalance)
 	}
+	fmt.Printf("\nrebalancing: imbalance %.3f (static minimizer buckets) -> %.3f after %d migrations moving %.2f MB\n",
+		static.Imbalance, rebalanced.Imbalance, rebalanced.Rebalances,
+		float64(rebalanced.MigratedBytes)/1e6)
 }

@@ -18,6 +18,7 @@ import (
 	"nmppak/internal/nmp"
 	"nmppak/internal/scaleout"
 	"nmppak/internal/sim"
+	"nmppak/internal/topo"
 	"nmppak/internal/trace"
 )
 
@@ -86,6 +87,8 @@ func Suite() []Case {
 		{"RadixSort1M", benchRadixSort1M},
 		{"ScaleOut8xBSP", benchScaleOut8xBSP},
 		{"ScaleOut8xOverlap", benchScaleOut8xOverlap},
+		{"ScaleOut8xTorus", benchScaleOut8xTorus},
+		{"ScaleOut8xDragonfly", benchScaleOut8xDragonfly},
 	}
 }
 
@@ -318,16 +321,18 @@ func benchKmerCount(b *testing.B) {
 
 // benchScaleOut8x measures the full 8-node distributed pipeline —
 // sharded counting, shard-graph construction, and the compaction replay
-// on the event-driven runtime — under the given replay discipline,
-// reporting the communication fraction and total simulated cycles of the
-// modeled machine alongside the wall-clock cost of simulating it.
-func benchScaleOut8x(b *testing.B, overlap bool) {
+// on the event-driven runtime — under the given replay discipline and
+// interconnect topology, reporting the communication fraction and total
+// simulated cycles of the modeled machine alongside the wall-clock cost
+// of simulating it.
+func benchScaleOut8x(b *testing.B, overlap bool, tc topo.Config) {
 	c, t := setup()
 	cfg := scaleout.DefaultConfig(8)
 	cfg.K = c.W.K
 	cfg.MinCount = c.W.MinCount
 	cfg.Workers = c.W.Workers
 	cfg.Overlap = overlap
+	cfg.Topo = tc
 	b.ReportAllocs()
 	b.ResetTimer()
 	var last *scaleout.Result
@@ -342,9 +347,13 @@ func benchScaleOut8x(b *testing.B, overlap bool) {
 	b.ReportMetric(float64(last.TotalCycles), "model_cycles")
 }
 
-func benchScaleOut8xBSP(b *testing.B) { benchScaleOut8x(b, false) }
+func benchScaleOut8xBSP(b *testing.B) { benchScaleOut8x(b, false, topo.Default()) }
 
-func benchScaleOut8xOverlap(b *testing.B) { benchScaleOut8x(b, true) }
+func benchScaleOut8xOverlap(b *testing.B) { benchScaleOut8x(b, true, topo.Default()) }
+
+func benchScaleOut8xTorus(b *testing.B) { benchScaleOut8x(b, false, topo.Torus(0, 0)) }
+
+func benchScaleOut8xDragonfly(b *testing.B) { benchScaleOut8x(b, false, topo.DragonflyGroups(0)) }
 
 func benchRadixSort1M(b *testing.B) {
 	r := rand.New(rand.NewSource(3))

@@ -27,8 +27,15 @@ const (
 	goldenTraceIters    = 18
 	goldenNMPCycles     = 308182
 	goldenCPUCycles     = 16955021
+	// Scale-out totals under the pre-refactor flat LinkConfig model; the
+	// topology-aware FullMesh must reproduce them cycle for cycle, in
+	// both replay disciplines (captured immediately before the
+	// internal/topo refactor).
 	goldenScale1Total   = 13766386
 	goldenScale4Total   = 3894413
+	goldenScale4Overlap = 3780697
+	goldenScale8Total   = 2110251
+	goldenScale8Overlap = 1941983
 )
 
 // TestGoldenEquivalence locks the full pipeline — counting, graph
@@ -103,17 +110,30 @@ func TestGoldenEquivalence(t *testing.T) {
 	}
 
 	for _, tc := range []struct {
-		nodes int
-		want  int64
-	}{{1, goldenScale1Total}, {4, goldenScale4Total}} {
+		nodes   int
+		overlap bool
+		want    int64
+	}{
+		{1, false, goldenScale1Total},
+		{1, true, goldenScale1Total},
+		{4, false, goldenScale4Total},
+		{4, true, goldenScale4Overlap},
+		{8, false, goldenScale8Total},
+		{8, true, goldenScale8Overlap},
+	} {
 		scfg := scaleout.DefaultConfig(tc.nodes)
 		scfg.Workers = 4
+		scfg.Overlap = tc.overlap
 		sres, err := scaleout.Simulate(c.Reads, tr, scfg)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if int64(sres.TotalCycles) != tc.want {
-			t.Errorf("scaleout n=%d total cycles = %d, golden %d", tc.nodes, sres.TotalCycles, tc.want)
+			t.Errorf("scaleout n=%d overlap=%v total cycles = %d, golden %d",
+				tc.nodes, tc.overlap, sres.TotalCycles, tc.want)
+		}
+		if sres.Topology != "fullmesh" {
+			t.Errorf("default topology = %q, want fullmesh", sres.Topology)
 		}
 	}
 }

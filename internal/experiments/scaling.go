@@ -5,10 +5,15 @@ import (
 
 	"nmppak/internal/report"
 	"nmppak/internal/scaleout"
+	"nmppak/internal/topo"
 )
 
 // scalingNodes are the machine sizes the scaling study sweeps.
 var scalingNodes = []int{1, 2, 4, 8}
+
+// topoSweepNodes are the machine sizes of the topology sweep; the larger
+// points are where routed contention separates the topologies.
+var topoSweepNodes = []int{8, 16, 64}
 
 // skewedScalingWorkload derives the repeat-heavy variant of the workload
 // the partitioner sweep is judged on: short repeat units covering almost
@@ -39,7 +44,7 @@ type scalingRuns struct {
 
 // run simulates (or replays from cache) the study workload under cfg.
 // The cache key is the full timing-relevant configuration (machine size,
-// discipline, partitioner, counting knobs, link and per-node NMP
+// discipline, partitioner, counting knobs, topology and per-node NMP
 // hardware); on one node ownership is trivial, so the partitioner drops
 // out of the key and every 1-node partitioner column shares one cached
 // baseline. The replay discipline stays in the key even at n=1 — totals
@@ -55,9 +60,8 @@ func (sr *scalingRuns) run(cfg scaleout.Config) (*scaleout.Result, error) {
 	if cfg.Nodes == 1 {
 		pkey = "-"
 	}
-	key := fmt.Sprintf("n%d|ov%t|p%s|k%d|m%d|l%v:%v|h%+v", cfg.Nodes, cfg.Overlap,
-		pkey, cfg.K, cfg.MinCount,
-		cfg.Link.BytesPerCycle, cfg.Link.LatencyCycles, cfg.NMP)
+	key := fmt.Sprintf("n%d|ov%t|p%s|k%d|m%d|t%+v|h%+v", cfg.Nodes, cfg.Overlap,
+		pkey, cfg.K, cfg.MinCount, cfg.Topo, cfg.NMP)
 	if r, ok := sr.cache[key]; ok {
 		return r, nil
 	}
@@ -82,12 +86,14 @@ func (sr *scalingRuns) run(cfg scaleout.Config) (*scaleout.Result, error) {
 // Strong scaling holds the workload fixed while nodes grow; weak scaling
 // holds the per-node genome share fixed (GenomeLen/8 per node, so the
 // 8-node point is the full workload). On top of the BSP baseline the
-// study sweeps the two new runtime knobs: overlapped halo exchange
-// (Config.Overlap) against BSP at every machine size, and the partitioner
-// choice (hash / minimizer / weight-aware balanced) on a repeat-heavy
-// skewed workload at 8 nodes. The N=1 compaction phase is cycle-identical
-// to the single-node SimulateNMP result; speedups are deterministic
-// replays, reproducible bit for bit.
+// study sweeps the runtime knobs: overlapped halo exchange
+// (Config.Overlap) against BSP at every machine size, the interconnect
+// topology (idealized full mesh vs. routed torus and dragonfly, both
+// disciplines, up to 64 nodes), and the partitioner choice (hash /
+// minimizer / weight-aware balanced / measurement-driven rebalancing) on
+// a repeat-heavy skewed workload at 8 nodes. The N=1 compaction phase is
+// cycle-identical to the single-node SimulateNMP result; speedups are
+// deterministic replays, reproducible bit for bit.
 func Scaling(c *Context) (*Report, error) {
 	sr := &scalingRuns{ctx: c, cache: map[string]*scaleout.Result{}}
 
@@ -172,6 +178,53 @@ func Scaling(c *Context) (*Report, error) {
 	}
 	text += "\n" + ovt.String()
 
+	// Topology sweep: the same workload and shards on a full mesh, a 2D
+	// torus and a dragonfly (auto shapes), BSP and overlapped, at the
+	// machine sizes where routed contention separates them. Runs are
+	// memoized like everything else in the study; the full-mesh 8-node
+	// rows are the strong-scaling runs replayed from cache.
+	topoCfgs := []struct {
+		label string
+		cfg   topo.Config
+	}{
+		{"mesh", topo.Default()},
+		{"torus", topo.Torus(0, 0)},
+		{"dfly", topo.DragonflyGroups(0)},
+	}
+	tt := &report.Table{
+		Title:   "Topology sweep (routed contention vs. the idealized full mesh)",
+		Headers: []string{"nodes", "topology", "bsp cycles", "bsp comm", "overlap cycles", "overlap comm", "bsp speedup"},
+	}
+	topoMeasured := map[string]float64{}
+	for _, n := range topoSweepNodes {
+		for _, tc := range topoCfgs {
+			cfg := scaleOutConfig(c.W, n)
+			cfg.Topo = tc.cfg
+			rb, err := sr.run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Overlap = true
+			ro, err := sr.run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			tt.AddRow(n, rb.Topology,
+				fmt.Sprintf("%d", rb.TotalCycles),
+				report.Percent(rb.CommFraction),
+				fmt.Sprintf("%d", ro.TotalCycles),
+				report.Percent(ro.CommFraction),
+				fmt.Sprintf("%.2fx", rb.Speedup(strong[0])))
+			if n == topoSweepNodes[0] || n == topoSweepNodes[len(topoSweepNodes)-1] {
+				topoMeasured[fmt.Sprintf("comm_frac_%s_%dx", tc.label, n)] = rb.CommFraction
+				topoMeasured[fmt.Sprintf("speedup_%s_%dx", tc.label, n)] = rb.Speedup(strong[0])
+				topoMeasured[fmt.Sprintf("overlap_gain_%s_%dx", tc.label, n)] =
+					float64(rb.TotalCycles) / float64(ro.TotalCycles)
+			}
+		}
+	}
+	text += "\n" + tt.String()
+
 	// Partitioner sweep on the skewed (repeat-heavy) workload: the
 	// balanced partitioner must recover the minimizer scheme's locality
 	// without its load imbalance. The 1-node baseline is derived once and
@@ -202,6 +255,7 @@ func Scaling(c *Context) (*Report, error) {
 		scaleout.HashPartitioner{},
 		scaleout.NewMinimizerPartitioner(12),
 		scaleout.NewBalancedPartitioner(skres, 12, sweepNodes),
+		scaleout.NewRebalancePartitioner(12, 1),
 	}
 	sweep := make([]*scaleout.Result, len(sweepParts))
 	for i, p := range sweepParts {
@@ -220,6 +274,9 @@ func Scaling(c *Context) (*Report, error) {
 			report.Percent(res.CommFraction))
 	}
 	text += "\n" + pt.String()
+	reb8 := sweep[len(sweep)-1]
+	text += fmt.Sprintf("rebalance: %d migrations moved %.2f MB of MacroNodes between iterations (charged to the network).\n",
+		reb8.Rebalances, float64(reb8.MigratedBytes)/1e6)
 
 	phase := &report.Table{
 		Title:   "Strong-scaling phase split (cycles, BSP)",
@@ -239,6 +296,9 @@ func Scaling(c *Context) (*Report, error) {
 
 	hash8, min8, bal8 := sweep[0], sweep[1], sweep[2]
 	measured := map[string]float64{
+		"imbalance_reb_8x":      reb8.Imbalance,
+		"remote_tn_reb_8x":      reb8.RemoteTNFrac,
+		"rebalance_moved_mb_8x": float64(reb8.MigratedBytes) / 1e6,
 		"comm_frac_8x":          strong[len(strong)-1].CommFraction,
 		"weak_eff_8x":           weak[len(weak)-1].Speedup(weak[0]),
 		"imbalance_8x":          strong[len(strong)-1].Imbalance,
@@ -259,6 +319,9 @@ func Scaling(c *Context) (*Report, error) {
 		}
 		measured[fmt.Sprintf("speedup_%dx", n)] = strong[i].Speedup(strong[0])
 		measured[fmt.Sprintf("eff_%dx", n)] = strong[i].Efficiency(strong[0])
+	}
+	for k, v := range topoMeasured {
+		measured[k] = v
 	}
 	return &Report{
 		ID:       "scaling",

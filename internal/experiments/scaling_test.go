@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -14,7 +15,7 @@ func TestScalingReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"Strong scaling", "Weak scaling", "Overlapped halo exchange", "Partitioner sweep"} {
+	for _, want := range []string{"Strong scaling", "Weak scaling", "Overlapped halo exchange", "Topology sweep", "Partitioner sweep", "rebalance"} {
 		if !strings.Contains(r.Text, want) {
 			t.Fatalf("report missing %q table:\n%s", want, r.Text)
 		}
@@ -72,6 +73,41 @@ func TestScalingReport(t *testing.T) {
 	if r.Measured["remote_tn_bal_8x"] >= r.Measured["remote_tn_hash_8x"] {
 		t.Fatalf("balanced partitioner lost the minimizer locality: remote TNs %.3f vs hash %.3f",
 			r.Measured["remote_tn_bal_8x"], r.Measured["remote_tn_hash_8x"])
+	}
+
+	// Measurement-driven rebalancing must at least match the static
+	// weight-aware binning on measured imbalance, keep minimizer-class
+	// locality, and actually move bytes over the network doing it.
+	if ir := r.Measured["imbalance_reb_8x"]; !(0 < ir && ir <= ib) {
+		t.Fatalf("rebalance imbalance %.4f worse than static balanced %.4f", ir, ib)
+	}
+	if r.Measured["remote_tn_reb_8x"] >= r.Measured["remote_tn_hash_8x"] {
+		t.Fatalf("rebalancer lost the minimizer locality: remote TNs %.3f vs hash %.3f",
+			r.Measured["remote_tn_reb_8x"], r.Measured["remote_tn_hash_8x"])
+	}
+	if r.Measured["rebalance_moved_mb_8x"] <= 0 {
+		t.Fatal("rebalancer reported no migration traffic")
+	}
+
+	// Routed topologies must expose strictly more communication than the
+	// idealized full mesh and scale worse, and overlap must still win on
+	// each (the exact acceptance shape of the topo refactor).
+	for _, tpo := range []string{"torus", "dfly"} {
+		for _, n := range []int{8, 64} {
+			cf := r.Measured[fmt.Sprintf("comm_frac_%s_%dx", tpo, n)]
+			mesh := r.Measured[fmt.Sprintf("comm_frac_mesh_%dx", n)]
+			if !(0 < mesh && mesh < cf && cf < 1) {
+				t.Fatalf("%s %dx comm fraction %.4f not above fullmesh %.4f", tpo, n, cf, mesh)
+			}
+			sp := r.Measured[fmt.Sprintf("speedup_%s_%dx", tpo, n)]
+			msp := r.Measured[fmt.Sprintf("speedup_mesh_%dx", n)]
+			if !(0 < sp && sp < msp) {
+				t.Fatalf("%s %dx speedup %.2f not below fullmesh %.2f", tpo, n, sp, msp)
+			}
+			if g := r.Measured[fmt.Sprintf("overlap_gain_%s_%dx", tpo, n)]; g < 1 {
+				t.Fatalf("%s %dx overlap gain %.3f below 1", tpo, n, g)
+			}
+		}
 	}
 
 	// Deterministic replays: a second run reproduces every number.
@@ -137,7 +173,7 @@ func TestScalingRunCache(t *testing.T) {
 		t.Fatalf("2-node BSP and overlapped runs collided (cache size %d)", len(sr.cache))
 	}
 	// A slower link is a different configuration.
-	cfg.Link.BytesPerCycle /= 2
+	cfg.Topo.BytesPerCycle /= 2
 	slow, err := sr.run(cfg)
 	if err != nil {
 		t.Fatal(err)

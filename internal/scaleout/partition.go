@@ -116,6 +116,21 @@ const balancedSpillDivisor = 128
 // scatterOwner marks a spilled bucket in the assignment table.
 const scatterOwner = ^uint16(0)
 
+// superBucket maps a word to its minimizer super-bucket; every
+// bucket-table scheme (BalancedPartitioner, RebalancePartitioner) shares
+// this mapping so their tables stay comparable.
+func superBucket(key dna.Kmer, kk, m int) int {
+	return int(mix64(minimizerOf(key, kk, m)) % BalancedBuckets)
+}
+
+// initialOwner is the coordination-free bucket-coherent hash assignment
+// of a super-bucket: BalancedPartitioner uses it for buckets its sample
+// never saw (and for foreign node counts), RebalancePartitioner as the
+// static assignment its runtime migrations start from.
+func initialOwner(bucket, nodes int) int {
+	return int(mix64(uint64(bucket)+0x9e3779b97f4a7c15) % uint64(nodes))
+}
+
 // BalancedPartitioner owns keys by minimizer super-bucket, with buckets
 // assigned to nodes by greedy weight-aware binning instead of a hash: the
 // buckets are ranked by observed k-mer mass (sampled from a counting
@@ -176,7 +191,7 @@ func NewBalancedPartitioner(res *kmer.Result, m, nodes int) BalancedPartitioner 
 			// would pile them all onto the least-loaded (initially first)
 			// node. Hash the bucket instead — pure and bucket-coherent —
 			// so unseen keys spread evenly.
-			p.table[b] = uint16(mix64(uint64(b)+0x9e3779b97f4a7c15) % uint64(nodes))
+			p.table[b] = uint16(initialOwner(b, nodes))
 			continue
 		}
 		order = append(order, b)
@@ -222,7 +237,7 @@ func (p BalancedPartitioner) Nodes() int { return p.nodes }
 
 // bucket maps a word to its minimizer super-bucket.
 func (p BalancedPartitioner) bucket(key dna.Kmer, kk int) int {
-	return int(mix64(minimizerOf(key, kk, p.M)) % BalancedBuckets)
+	return superBucket(key, kk, p.M)
 }
 
 // Owner implements Partitioner. For the node count the table was built
@@ -240,5 +255,5 @@ func (p BalancedPartitioner) Owner(key dna.Kmer, kk, nodes int) int {
 		}
 		return int(mix64(uint64(key)) % uint64(nodes))
 	}
-	return int(mix64(uint64(b)+0x9e3779b97f4a7c15) % uint64(nodes))
+	return initialOwner(b, nodes)
 }

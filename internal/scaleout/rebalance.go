@@ -1,0 +1,326 @@
+// Measurement-driven re-partitioning: a RebalancePartitioner starts from
+// a static minimizer super-bucket assignment (the communication-friendly
+// scheme) and lets the distributed runtime migrate whole super-buckets
+// from measured stragglers to measured idle nodes between compaction
+// iterations. Unlike BalancedPartitioner — which predicts load once from
+// a counting sample — the rebalancer reacts to the busy times the
+// runtime actually records (compactOutcome.Durations), so it corrects
+// skew the static sample could not see (repeat families whose replay
+// cost is out of proportion to their k-mer mass, drift as compaction
+// drains the graph). Migration is not free: every MacroNode whose bucket
+// moves is charged over the interconnect at its traced size before the
+// next iteration begins.
+package scaleout
+
+import (
+	"fmt"
+	"sort"
+
+	"nmppak/internal/dna"
+	"nmppak/internal/nmp"
+	"nmppak/internal/par"
+	"nmppak/internal/sim"
+	"nmppak/internal/topo"
+	"nmppak/internal/trace"
+)
+
+// RebalancePartitioner assigns ownership by minimizer super-bucket (the
+// BalancedBuckets-wide table every bucket scheme here shares) and marks
+// the assignment as migratable: the distributed runtime re-shards the
+// compaction replay between iterations, moving buckets off measured
+// stragglers. Outside the compaction replay (counting, construction) the
+// static initial assignment applies, so ownership stays a pure function
+// of the key wherever nodes must agree without coordination.
+type RebalancePartitioner struct {
+	// M is the minimizer length defining the super-bucket migration unit.
+	M int
+	// Every is the rebalance period: ownership may change before
+	// iterations Every, 2*Every, ... (>= 1).
+	Every int
+	// Trigger is the measured per-iteration imbalance (slowest node over
+	// mean) below which a rebalance point leaves ownership alone; the
+	// hysteresis keeps near-balanced replays from thrashing buckets back
+	// and forth for marginal gains.
+	Trigger float64
+}
+
+// NewRebalancePartitioner returns a rebalancing partitioner with m-mer
+// buckets migrated every `every` iterations and the default 1.05
+// imbalance trigger.
+func NewRebalancePartitioner(m, every int) *RebalancePartitioner {
+	if m < 1 {
+		m = 1
+	}
+	if every < 1 {
+		every = 1
+	}
+	return &RebalancePartitioner{M: m, Every: every, Trigger: 1.05}
+}
+
+// Name implements Partitioner.
+func (p *RebalancePartitioner) Name() string {
+	return fmt.Sprintf("rebalance%d/%d", p.M, p.Every)
+}
+
+// bucket maps a word to its minimizer super-bucket.
+func (p *RebalancePartitioner) bucket(key dna.Kmer, kk int) int {
+	return superBucket(key, kk, p.M)
+}
+
+// Owner implements Partitioner with the static initial assignment
+// (initialOwner; the runtime's ownership table starts there and diverges
+// as measurements arrive).
+func (p *RebalancePartitioner) Owner(key dna.Kmer, kk, nodes int) int {
+	if nodes <= 1 {
+		return 0
+	}
+	return initialOwner(p.bucket(key, kk), nodes)
+}
+
+// rebalanceOutcome extends the compaction outcome with the traffic and
+// migration accounting the dynamic runtime produces itself (the static
+// path reads these off ShardTrace).
+type rebalanceOutcome struct {
+	compactOutcome
+	LocalTNs      int64
+	RemoteTNs     int64
+	HaloBytes     int64
+	Rebalances    int
+	MigratedBytes int64
+}
+
+// migrate mutates the bucket ownership table, moving buckets from
+// predicted stragglers to predicted idle nodes so that the end-of-run
+// cumulative busy times — the quantity Result.Imbalance measures — meet
+// in the middle. cum is the measured cumulative busy time per node, dur
+// the last iteration's measured busy time, weight the last iteration's
+// per-bucket traced MacroNode bytes (the proxy attributing a node's
+// measured time to its buckets), and decay the trace-derived ratio of
+// remaining work to the last iteration's work, which converts a one-
+// iteration transfer into its effect on the rest of the run. Returns
+// whether any bucket moved. Deterministic: ties break on the lower node
+// index and lower bucket index.
+func (p *RebalancePartitioner) migrate(table []uint16, cum, dur []sim.Cycle, weight []int64, decay float64, nodes int) bool {
+	if decay <= 0 {
+		return false // nothing left to rebalance for
+	}
+	// Predicted final cumulative busy time: what is banked plus the last
+	// iteration's rate carried over the estimated remaining work.
+	est := make([]float64, nodes)
+	for i := range est {
+		est[i] = float64(cum[i]) + float64(dur[i])*decay
+	}
+	load := make([]int64, nodes) // weight currently attributed per node
+	for b, w := range weight {
+		load[table[b]] += w
+	}
+	// Buckets grouped per node, heaviest first, for donor scans.
+	byNode := make([][]int, nodes)
+	for b, w := range weight {
+		if w > 0 {
+			o := table[b]
+			byNode[o] = append(byNode[o], b)
+		}
+	}
+	for _, bs := range byNode {
+		sort.Slice(bs, func(i, j int) bool {
+			if weight[bs[i]] != weight[bs[j]] {
+				return weight[bs[i]] > weight[bs[j]]
+			}
+			return bs[i] < bs[j]
+		})
+	}
+	moved := false
+	for round := 0; round < nodes; round++ {
+		donor, idle := 0, 0
+		var mean float64
+		for i := range est {
+			mean += est[i]
+			if est[i] > est[donor] {
+				donor = i
+			}
+			if est[i] < est[idle] {
+				idle = i
+			}
+		}
+		mean /= float64(nodes)
+		if mean <= 0 || est[donor] < p.Trigger*mean || donor == idle {
+			break
+		}
+		if load[donor] <= 0 || dur[donor] <= 0 {
+			break // no attributable weight to move
+		}
+		// cycles-per-weight rate of the donor, carried over the remaining
+		// run, converts bucket weight into predicted final busy time; move
+		// buckets until half the gap closes.
+		rate := float64(dur[donor]) / float64(load[donor]) * decay
+		target := (est[donor] - est[idle]) / 2
+		var transferred float64
+		rest := byNode[donor][:0]
+		for _, b := range byNode[donor] {
+			w := float64(weight[b]) * rate
+			if transferred < target && transferred+w <= target*2 {
+				table[b] = uint16(idle)
+				load[donor] -= weight[b]
+				load[idle] += weight[b]
+				transferred += w
+				byNode[idle] = append(byNode[idle], b)
+				moved = true
+				continue
+			}
+			rest = append(rest, b)
+		}
+		byNode[donor] = rest
+		if transferred == 0 {
+			break // every remaining donor bucket overshoots; stop
+		}
+		// Restore the recipient's heaviest-first order (the received batch
+		// was appended out of place) in case a later round makes it the
+		// donor.
+		sort.Slice(byNode[idle], func(i, j int) bool {
+			bi, bj := byNode[idle][i], byNode[idle][j]
+			if weight[bi] != weight[bj] {
+				return weight[bi] > weight[bj]
+			}
+			return bi < bj
+		})
+		est[donor] -= transferred
+		est[idle] += transferred
+	}
+	return moved
+}
+
+// runRebalanced executes the compaction phase with dynamic ownership:
+// BSP supersteps (the migration decision is itself a global
+// synchronization, so the BSP barrier it needs is already there), with
+// the bucket table re-fit between iterations from the measured per-node
+// busy times, and the moved MacroNodes charged over the network at their
+// traced sizes before the iteration that uses the new placement.
+func runRebalanced(tr *trace.Trace, net topo.Network, cfg Config, p *RebalancePartitioner) (*rebalanceOutcome, error) {
+	n := cfg.Nodes
+	iters := len(tr.Iterations)
+	k1 := tr.K - 1
+	out := &rebalanceOutcome{}
+	out.Durations = make([][]sim.Cycle, n)
+
+	traces := make([]*trace.Trace, n)
+	engines := make([]*nmp.Engine, n)
+	for i := 0; i < n; i++ {
+		traces[i] = &trace.Trace{K: tr.K}
+		e, err := nmp.NewEngine(traces[i], cfg.NMP)
+		if err != nil {
+			return nil, err
+		}
+		engines[i] = e
+		out.Durations[i] = make([]sim.Cycle, iters)
+	}
+
+	table := make([]uint16, BalancedBuckets)
+	for b := range table {
+		table[b] = uint16(initialOwner(b, n))
+	}
+	ownerOf := func(key dna.Kmer) int { return int(table[p.bucket(key, k1)]) }
+
+	// iterBytes[it] is the global traced MacroNode bytes of iteration it;
+	// the suffix sums estimate how much work remains at each rebalance
+	// point (compaction decays fast, so "rest of run over last iteration"
+	// is the honest horizon for a migration's payoff).
+	iterBytes := make([]float64, iters+1)
+	for it := iters - 1; it >= 0; it-- {
+		var b float64
+		for i := range tr.Iterations[it].Nodes {
+			nd := &tr.Iterations[it].Nodes[i]
+			b += float64(nd.D1 + nd.D2)
+		}
+		iterBytes[it] = b + iterBytes[it+1]
+	}
+
+	lastDur := make([]sim.Cycle, n)          // previous iteration's measured busy time
+	cum := make([]sim.Cycle, n)              // measured cumulative busy time
+	weight := make([]int64, BalancedBuckets) // previous iteration's per-bucket bytes
+	prev := make([]uint16, BalancedBuckets)  // ownership before the last migration
+	var compute, exchange sim.Cycle
+
+	for it := 0; it < iters; it++ {
+		iter := &tr.Iterations[it]
+
+		// Between iterations: re-fit ownership to the measured busy times
+		// and charge the moved MacroNodes over the network, straggler ->
+		// new owner. Every live MacroNode appears in its iteration's trace
+		// (P1 visits the full live population each iteration), so pricing
+		// the move off iter.Nodes charges every node a bucket move
+		// relocates; a migration that moves only drained buckets (no live
+		// nodes left) is a no-op and is not counted.
+		if it > 0 && it%p.Every == 0 && n > 1 {
+			copy(prev, table)
+			lastBytes := iterBytes[it-1] - iterBytes[it]
+			decay := 0.0
+			if lastBytes > 0 {
+				decay = iterBytes[it] / lastBytes
+			}
+			if p.migrate(table, cum, lastDur, weight, decay, n) {
+				move := mat(n)
+				for i := range iter.Nodes {
+					nd := &iter.Nodes[i]
+					b := p.bucket(nd.Key, k1)
+					if prev[b] != table[b] {
+						move[prev[b]][table[b]] += int64(nd.D1 + nd.D2)
+					}
+				}
+				if mx := topo.Exchange(net, move); mx.TotalBytes > 0 {
+					exchange += mx.Cycles
+					out.ExchangedBytes += mx.TotalBytes
+					out.MigratedBytes += mx.TotalBytes
+					out.Rebalances++
+				}
+			}
+		}
+
+		halo := mat(n)
+		subs, l, r, hb := shardIteration(iter, n, ownerOf, halo)
+		out.LocalTNs += l
+		out.RemoteTNs += r
+		out.HaloBytes += hb
+		for o := 0; o < n; o++ {
+			if it == 0 {
+				traces[o].Quantiles = subs[o].Quantiles
+			}
+			traces[o].Iterations = append(traces[o].Iterations, subs[o])
+		}
+
+		par.ForIdx(n, cfg.Workers, func(i int) {
+			e := engines[i]
+			ti := e.StepIteration(e.NextStart())
+			out.Durations[i][it] = ti.End - ti.Start
+		})
+		var slowest sim.Cycle
+		for i := 0; i < n; i++ {
+			lastDur[i] = out.Durations[i][it]
+			cum[i] += lastDur[i]
+			if lastDur[i] > slowest {
+				slowest = lastDur[i]
+			}
+		}
+		compute += slowest
+		hx := topo.Exchange(net, halo)
+		exchange += hx.Cycles
+		out.ExchangedBytes += hx.TotalBytes
+
+		// Refresh the bucket weights that attribute this iteration's
+		// measured time for the next migration decision.
+		clear(weight)
+		for i := range iter.Nodes {
+			nd := &iter.Nodes[i]
+			weight[p.bucket(nd.Key, k1)] += int64(nd.D1 + nd.D2)
+		}
+	}
+
+	linkBarrier, syncBarrier := bspBarriers(net, cfg, iters)
+	out.Phase = PhaseCycles{Compute: compute, Exchange: exchange, Barrier: linkBarrier + syncBarrier}
+	out.LinkBarrier = linkBarrier
+	out.NMP = make([]*nmp.Result, n)
+	for i, e := range engines {
+		out.NMP[i] = e.Result()
+	}
+	return out, nil
+}

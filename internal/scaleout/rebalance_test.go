@@ -1,0 +1,148 @@
+package scaleout
+
+import (
+	"testing"
+
+	"nmppak/internal/kmer"
+	"nmppak/internal/nmp"
+	"nmppak/internal/topo"
+)
+
+// On a link-constrained machine the routed topologies must report
+// strictly more exposed communication than the full mesh: their multi-hop
+// store-and-forward routes share channels the mesh's dedicated wires do
+// not, in both replay disciplines. Totals grow accordingly.
+func TestRoutedTopologiesExposeMoreComm(t *testing.T) {
+	reads := testReads(t, 20_000)
+	tr := testTrace(t, reads, 32, 3)
+	for _, overlap := range []bool{false, true} {
+		base := DefaultConfig(8)
+		base.Topo.BytesPerCycle = 2 // 3.2 GB/s links: comm-bound
+		base.Overlap = overlap
+		mesh, err := Simulate(reads, tr, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, kind := range []topo.Kind{topo.Torus2D, topo.Dragonfly} {
+			cfg := base
+			cfg.Topo.Kind = kind
+			r, err := Simulate(reads, tr, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.CommFraction <= mesh.CommFraction {
+				t.Errorf("overlap=%v %s: comm fraction %.4f not above fullmesh %.4f",
+					overlap, r.Topology, r.CommFraction, mesh.CommFraction)
+			}
+			if r.TotalCycles <= mesh.TotalCycles {
+				t.Errorf("overlap=%v %s: total %d not above fullmesh %d",
+					overlap, r.Topology, r.TotalCycles, mesh.TotalCycles)
+			}
+			// Routing changes time, never traffic volume.
+			if r.ExchangedBytes != mesh.ExchangedBytes || r.HaloBytes != mesh.HaloBytes {
+				t.Errorf("overlap=%v %s: moved %d/%d bytes vs fullmesh %d/%d",
+					overlap, r.Topology, r.ExchangedBytes, r.HaloBytes, mesh.ExchangedBytes, mesh.HaloBytes)
+			}
+		}
+	}
+}
+
+// Measurement-driven re-partitioning must beat every static scheme on
+// measured straggler imbalance — in particular the weight-aware
+// BalancedPartitioner, whose counting sample cannot see replay-time skew
+// — while keeping the minimizer family's communication locality, and it
+// must charge its migrations to the network.
+func TestRebalanceReducesImbalance(t *testing.T) {
+	reads := testReads(t, 20_000)
+	tr := testTrace(t, reads, 32, 3)
+	kres, err := kmer.Count(reads, kmer.Config{K: 32, MinCount: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(p Partitioner) *Result {
+		t.Helper()
+		cfg := DefaultConfig(8)
+		cfg.Partitioner = p
+		r, err := Simulate(reads, tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	hash := run(HashPartitioner{})
+	min := run(NewMinimizerPartitioner(12))
+	bal := run(NewBalancedPartitioner(kres, 12, 8))
+	reb := run(NewRebalancePartitioner(12, 1))
+
+	if reb.Imbalance >= bal.Imbalance {
+		t.Errorf("rebalance imbalance %.4f not below balanced %.4f", reb.Imbalance, bal.Imbalance)
+	}
+	if reb.Imbalance >= min.Imbalance {
+		t.Errorf("rebalance imbalance %.4f not below minimizer %.4f", reb.Imbalance, min.Imbalance)
+	}
+	if reb.RemoteTNFrac >= hash.RemoteTNFrac {
+		t.Errorf("rebalance lost minimizer locality: remote TNs %.3f vs hash %.3f",
+			reb.RemoteTNFrac, hash.RemoteTNFrac)
+	}
+	if reb.Rebalances == 0 || reb.MigratedBytes == 0 {
+		t.Errorf("no migrations recorded: %d rebalances, %d bytes", reb.Rebalances, reb.MigratedBytes)
+	}
+	if reb.ExchangedBytes <= reb.HaloBytes {
+		t.Errorf("migration bytes not charged to the network: exchanged %d, halo %d",
+			reb.ExchangedBytes, reb.HaloBytes)
+	}
+	for _, r := range []*Result{hash, min, bal} {
+		if r.Rebalances != 0 || r.MigratedBytes != 0 {
+			t.Errorf("%s: static partitioner recorded migrations", r.Partitioner)
+		}
+	}
+}
+
+// The rebalancing replay is measurement-driven but fully deterministic:
+// two runs of the same configuration agree on every number.
+func TestRebalanceDeterminism(t *testing.T) {
+	reads := testReads(t, 20_000)
+	tr := testTrace(t, reads, 32, 3)
+	cfg := DefaultConfig(8)
+	cfg.Partitioner = NewRebalancePartitioner(12, 2)
+	a, err := Simulate(reads, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(reads, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalCycles != b.TotalCycles || a.Compact != b.Compact ||
+		a.MigratedBytes != b.MigratedBytes || a.Rebalances != b.Rebalances ||
+		a.Imbalance != b.Imbalance || a.ExchangedBytes != b.ExchangedBytes {
+		t.Fatalf("nondeterministic rebalance:\n%+v\n%+v", a, b)
+	}
+	if a.Rebalances == 0 {
+		t.Fatal("period-2 rebalancer never migrated")
+	}
+}
+
+// With one node there is nothing to migrate: the rebalanced replay
+// reduces to the single-node nmp.Simulate outcome cycle for cycle, with
+// no traffic and no migrations.
+func TestRebalanceN1MatchesNMP(t *testing.T) {
+	reads := testReads(t, 20_000)
+	tr := testTrace(t, reads, 32, 3)
+	cfg := DefaultConfig(1)
+	cfg.Partitioner = NewRebalancePartitioner(12, 1)
+	res, err := Simulate(reads, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := nmp.Simulate(tr, cfg.NMP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Compact.Total() != want.Cycles {
+		t.Fatalf("N=1 rebalanced compact %d cycles, nmp.Simulate %d", res.Compact.Total(), want.Cycles)
+	}
+	if res.Rebalances != 0 || res.MigratedBytes != 0 || res.ExchangedBytes != 0 || res.CommCycles != 0 {
+		t.Fatalf("N=1 rebalance moved data: %+v", res)
+	}
+}

@@ -1,6 +1,7 @@
 package scaleout
 
 import (
+	"nmppak/internal/dna"
 	"nmppak/internal/trace"
 )
 
@@ -23,6 +24,51 @@ type ShardedTrace struct {
 	HaloBytes int64
 }
 
+// shardIteration splits one global iteration across n nodes under ownerOf
+// (a pure key -> node assignment): per-node sub-iterations carry the node
+// visits, local transfers and updates of the keys each node owns, while
+// cross-node TransferNode bytes accumulate into halo[src][dst]. The
+// returned counters split transfers into local and remote; haloBytes is
+// the remote payload total. This is the unit of work ShardTrace applies
+// to every iteration at once and the rebalancing runtime applies one
+// iteration at a time, between migrations.
+func shardIteration(iter *trace.Iteration, n int, ownerOf func(dna.Kmer) int, halo [][]int64) (subs []trace.Iteration, localTNs, remoteTNs, haloBytes int64) {
+	owner := make([]int, len(iter.Nodes))
+	local := make([]int32, len(iter.Nodes))
+	subs = make([]trace.Iteration, n)
+	for i := range iter.Nodes {
+		o := ownerOf(iter.Nodes[i].Key)
+		owner[i] = o
+		local[i] = int32(len(subs[o].Nodes))
+		subs[o].Nodes = append(subs[o].Nodes, iter.Nodes[i])
+	}
+	for _, tn := range iter.Transfers {
+		s, d := owner[tn.SrcIdx], owner[tn.DstIdx]
+		if s == d {
+			localTNs++
+			subs[s].Transfers = append(subs[s].Transfers, trace.TransferOp{
+				SrcIdx: local[tn.SrcIdx], DstIdx: local[tn.DstIdx],
+				TNBytes: tn.TNBytes, SuffixSide: tn.SuffixSide,
+			})
+			continue
+		}
+		remoteTNs++
+		halo[s][d] += int64(tn.TNBytes)
+		haloBytes += int64(tn.TNBytes)
+	}
+	for _, u := range iter.Updates {
+		o := owner[u.DstIdx]
+		subs[o].Updates = append(subs[o].Updates, trace.UpdateOp{
+			DstIdx: local[u.DstIdx], ReadBytes: u.ReadBytes, WriteBytes: u.WriteBytes,
+		})
+	}
+	for o := 0; o < n; o++ {
+		subs[o].Stats = iter.Stats
+		subs[o].Quantiles = trace.BuildQuantiles(subs[o].Nodes)
+	}
+	return subs, localTNs, remoteTNs, haloBytes
+}
+
 // ShardTrace splits tr across n nodes under partitioner p. With n == 1 the
 // single sub-trace reproduces tr exactly (same nodes, transfers, updates
 // and quantile tables), which is what pins the N=1 scale-out result to the
@@ -37,42 +83,14 @@ func ShardTrace(tr *trace.Trace, n int, p Partitioner) *ShardedTrace {
 	for i := range st.Traces {
 		st.Traces[i] = &trace.Trace{K: tr.K}
 	}
+	ownerOf := func(key dna.Kmer) int { return p.Owner(key, k1, n) }
 	for it := range tr.Iterations {
-		iter := &tr.Iterations[it]
 		st.Halo[it] = mat(n)
-
-		owner := make([]int, len(iter.Nodes))
-		local := make([]int32, len(iter.Nodes))
-		subs := make([]trace.Iteration, n)
-		for i := range iter.Nodes {
-			o := p.Owner(iter.Nodes[i].Key, k1, n)
-			owner[i] = o
-			local[i] = int32(len(subs[o].Nodes))
-			subs[o].Nodes = append(subs[o].Nodes, iter.Nodes[i])
-		}
-		for _, tn := range iter.Transfers {
-			s, d := owner[tn.SrcIdx], owner[tn.DstIdx]
-			if s == d {
-				st.LocalTNs++
-				subs[s].Transfers = append(subs[s].Transfers, trace.TransferOp{
-					SrcIdx: local[tn.SrcIdx], DstIdx: local[tn.DstIdx],
-					TNBytes: tn.TNBytes, SuffixSide: tn.SuffixSide,
-				})
-				continue
-			}
-			st.RemoteTNs++
-			st.Halo[it][s][d] += int64(tn.TNBytes)
-			st.HaloBytes += int64(tn.TNBytes)
-		}
-		for _, u := range iter.Updates {
-			o := owner[u.DstIdx]
-			subs[o].Updates = append(subs[o].Updates, trace.UpdateOp{
-				DstIdx: local[u.DstIdx], ReadBytes: u.ReadBytes, WriteBytes: u.WriteBytes,
-			})
-		}
+		subs, l, r, hb := shardIteration(&tr.Iterations[it], n, ownerOf, st.Halo[it])
+		st.LocalTNs += l
+		st.RemoteTNs += r
+		st.HaloBytes += hb
 		for o := 0; o < n; o++ {
-			subs[o].Stats = iter.Stats
-			subs[o].Quantiles = trace.BuildQuantiles(subs[o].Nodes)
 			if it == 0 {
 				st.Traces[o].Quantiles = subs[o].Quantiles
 			}
@@ -85,9 +103,14 @@ func ShardTrace(tr *trace.Trace, n int, p Partitioner) *ShardedTrace {
 // RemoteTNFrac is the fraction of all TransferNodes that cross the
 // interconnect.
 func (st *ShardedTrace) RemoteTNFrac() float64 {
-	t := st.LocalTNs + st.RemoteTNs
+	return remoteTNFrac(st.LocalTNs, st.RemoteTNs)
+}
+
+// remoteTNFrac is the remote share of a local/remote transfer split.
+func remoteTNFrac(local, remote int64) float64 {
+	t := local + remote
 	if t == 0 {
 		return 0
 	}
-	return float64(st.RemoteTNs) / float64(t)
+	return float64(remote) / float64(t)
 }

@@ -15,9 +15,9 @@
 //     are still computing, and only the dependent work waits — node j may
 //     begin iteration i+1 as soon as (a) its own iteration i ended plus
 //     the local sync barrier and (b) every iteration-i halo message
-//     destined to j has been delivered. There is no global barrier; the
-//     links use the same per-port store-and-forward occupancy discipline
-//     as LinkConfig.Exchange.
+//     destined to j has been delivered. There is no global barrier; halo
+//     messages route hop-by-hop through the same contended topology links
+//     (topo.Flight) that price topo.Exchange.
 //
 // In both modes each engine advances on its local back-to-back clock
 // (identical to nmp.Simulate), so per-iteration durations — and therefore
@@ -31,6 +31,7 @@ import (
 	"nmppak/internal/nmp"
 	"nmppak/internal/par"
 	"nmppak/internal/sim"
+	"nmppak/internal/topo"
 )
 
 // compactOutcome is the compaction phase as scheduled by the runtime.
@@ -47,6 +48,7 @@ type compactOutcome struct {
 type runtime struct {
 	cfg   Config
 	st    *ShardedTrace
+	net   topo.Network
 	n     int
 	iters int
 
@@ -54,10 +56,11 @@ type runtime struct {
 	durations [][]sim.Cycle
 }
 
-func newRuntime(st *ShardedTrace, cfg Config) (*runtime, error) {
+func newRuntime(st *ShardedTrace, net topo.Network, cfg Config) (*runtime, error) {
 	rt := &runtime{
 		cfg:       cfg,
 		st:        st,
+		net:       net,
 		n:         cfg.Nodes,
 		iters:     len(st.Traces[0].Iterations),
 		engines:   make([]*nmp.Engine, cfg.Nodes),
@@ -126,25 +129,32 @@ func (rt *runtime) runBSP() *compactOutcome {
 			}
 		}
 		compute += max
-		hx := rt.cfg.Link.Exchange(rt.n, rt.st.Halo[it])
+		hx := topo.Exchange(rt.net, rt.st.Halo[it])
 		exchange += hx.Cycles
 		out.ExchangedBytes += hx.TotalBytes
 	}
-	var linkBarrier, syncBarrier sim.Cycle
-	if rt.iters > 1 {
-		linkBarrier = sim.Cycle(rt.iters-1) * rt.cfg.Link.BarrierCycles(rt.n)
-		syncBarrier = sim.Cycle(rt.iters-1) * rt.cfg.NMP.SyncBarrierCycles
-	}
+	linkBarrier, syncBarrier := bspBarriers(rt.net, rt.cfg, rt.iters)
 	out.Phase = PhaseCycles{Compute: compute, Exchange: exchange, Barrier: linkBarrier + syncBarrier}
 	out.LinkBarrier = linkBarrier
 	return out
 }
 
+// bspBarriers prices the closing barriers of a BSP compaction phase:
+// iters-1 interconnect log-tree barriers and as many NMP-runtime sync
+// barriers between consecutive supersteps. Shared by runBSP and the
+// rebalancing runtime (rebalance.go), whose supersteps must stay priced
+// identically for the partitioner comparisons to mean anything.
+func bspBarriers(net topo.Network, cfg Config, iters int) (link, sync sim.Cycle) {
+	if iters > 1 {
+		link = sim.Cycle(iters-1) * net.BarrierCycles()
+		sync = sim.Cycle(iters-1) * cfg.NMP.SyncBarrierCycles
+	}
+	return link, sync
+}
+
 // ovNode is one node's overlap-mode scheduling state on the global
-// timeline.
+// timeline (link occupancy lives in the shared topo.Flight).
 type ovNode struct {
-	egressFree  sim.Cycle // output port busy-until
-	ingressFree sim.Cycle // input port busy-until
 	// pendingIn[it] counts halo messages of iteration it still in flight
 	// toward this node.
 	pendingIn []int
@@ -188,7 +198,7 @@ func (rt *runtime) runOverlapped() *compactOutcome {
 			}
 		}
 	}
-	lc := rt.cfg.Link
+	fl := topo.NewFlight(rt.net, g)
 	var makespan sim.Cycle
 	note := func(t sim.Cycle) {
 		if t > makespan {
@@ -217,28 +227,22 @@ func (rt *runtime) runOverlapped() *compactOutcome {
 		now := g.Now()
 		nd.finished[it] = true
 		note(now)
-		// Stream this iteration's outgoing halo on the egress port; each
-		// message is store-and-forwarded through the destination's ingress
-		// port, the same occupancy discipline LinkConfig.Exchange uses.
+		// Stream this iteration's outgoing halo through the topology: the
+		// Flight reserves the first route link immediately (the sender's
+		// serializing injection port) and store-and-forwards through every
+		// contended downstream link, the same occupancy discipline
+		// topo.Exchange uses.
 		for off := 1; off < n; off++ {
 			dst := (i + off) % n
 			b := rt.st.Halo[it][i][dst]
 			if b <= 0 {
 				continue
 			}
-			slot := max(now, nd.egressFree)
-			dur := sim.Cycle(float64(b)/lc.BytesPerCycle) + 1
-			nd.egressFree = slot + dur
 			d := dst
-			g.At(slot+dur+lc.LatencyCycles, func() {
-				rn := nodes[d]
-				slot2 := max(g.Now(), rn.ingressFree)
-				rn.ingressFree = slot2 + dur
-				g.At(slot2+dur, func() {
-					note(g.Now())
-					rn.pendingIn[it]--
-					tryStart(d, it+1)
-				})
+			fl.Send(i, d, b, func() {
+				note(g.Now())
+				nodes[d].pendingIn[it]--
+				tryStart(d, it+1)
 			})
 		}
 		if it+1 < iters {

@@ -5,44 +5,50 @@ import (
 	"testing"
 
 	"nmppak/internal/nmp"
+	"nmppak/internal/topo"
 )
 
-// Overlapped execution relaxes the BSP barriers without adding work, so on
-// the same shards and trace it must never lose — on the compaction phase
-// it is scheduling, and therefore end to end.
+// Overlapped execution relaxes the BSP barriers without adding work, so
+// on the same shards, trace and topology it must never lose — on the
+// compaction phase it is scheduling, and therefore end to end. The
+// property must hold on every topology: multi-hop routing changes how
+// much link time there is to hide, not the direction of the comparison.
 func TestOverlapNeverSlowerThanBSP(t *testing.T) {
 	reads := testReads(t, 20_000)
 	tr := testTrace(t, reads, 32, 3)
-	for _, n := range []int{1, 2, 4, 8} {
-		for _, p := range []Partitioner{HashPartitioner{}, NewMinimizerPartitioner(12)} {
-			bsp := DefaultConfig(n)
-			bsp.Partitioner = p
-			ov := bsp
-			ov.Overlap = true
-			rb, err := Simulate(reads, tr, bsp)
-			if err != nil {
-				t.Fatal(err)
-			}
-			ro, err := Simulate(reads, tr, ov)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if ro.Compact.Total() > rb.Compact.Total() {
-				t.Fatalf("n=%d %s: overlapped compact %d cycles slower than BSP %d",
-					n, p.Name(), ro.Compact.Total(), rb.Compact.Total())
-			}
-			if ro.TotalCycles > rb.TotalCycles {
-				t.Fatalf("n=%d %s: overlapped total %d cycles slower than BSP %d",
-					n, p.Name(), ro.TotalCycles, rb.TotalCycles)
-			}
-			// Same compute, same traffic: only the schedule differs.
-			if ro.ExchangedBytes != rb.ExchangedBytes || ro.HaloBytes != rb.HaloBytes {
-				t.Fatalf("n=%d %s: overlap moved different bytes: %d/%d vs %d/%d",
-					n, p.Name(), ro.ExchangedBytes, ro.HaloBytes, rb.ExchangedBytes, rb.HaloBytes)
-			}
-			if ro.Imbalance != rb.Imbalance {
-				t.Fatalf("n=%d %s: per-node busy time should not depend on the schedule: %v vs %v",
-					n, p.Name(), ro.Imbalance, rb.Imbalance)
+	for _, tc := range []topo.Config{topo.Default(), topo.Torus(0, 0), topo.DragonflyGroups(0)} {
+		for _, n := range []int{1, 2, 4, 8} {
+			for _, p := range []Partitioner{HashPartitioner{}, NewMinimizerPartitioner(12)} {
+				bsp := DefaultConfig(n)
+				bsp.Partitioner = p
+				bsp.Topo = tc
+				ov := bsp
+				ov.Overlap = true
+				rb, err := Simulate(reads, tr, bsp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ro, err := Simulate(reads, tr, ov)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ro.Compact.Total() > rb.Compact.Total() {
+					t.Fatalf("n=%d %s %s: overlapped compact %d cycles slower than BSP %d",
+						n, rb.Topology, p.Name(), ro.Compact.Total(), rb.Compact.Total())
+				}
+				if ro.TotalCycles > rb.TotalCycles {
+					t.Fatalf("n=%d %s %s: overlapped total %d cycles slower than BSP %d",
+						n, rb.Topology, p.Name(), ro.TotalCycles, rb.TotalCycles)
+				}
+				// Same compute, same traffic: only the schedule differs.
+				if ro.ExchangedBytes != rb.ExchangedBytes || ro.HaloBytes != rb.HaloBytes {
+					t.Fatalf("n=%d %s %s: overlap moved different bytes: %d/%d vs %d/%d",
+						n, rb.Topology, p.Name(), ro.ExchangedBytes, ro.HaloBytes, rb.ExchangedBytes, rb.HaloBytes)
+				}
+				if ro.Imbalance != rb.Imbalance {
+					t.Fatalf("n=%d %s %s: per-node busy time should not depend on the schedule: %v vs %v",
+						n, rb.Topology, p.Name(), ro.Imbalance, rb.Imbalance)
+				}
 			}
 		}
 	}
@@ -57,7 +63,7 @@ func TestOverlapBenefitGrowsAsLinkShrinks(t *testing.T) {
 	prev := int64(-1)
 	for _, gbps := range []float64{15.625, 8, 4, 2} { // B/cycle: 25 -> 3.2 GB/s
 		bsp := DefaultConfig(8)
-		bsp.Link.BytesPerCycle = gbps
+		bsp.Topo.BytesPerCycle = gbps
 		ov := bsp
 		ov.Overlap = true
 		rb, err := Simulate(reads, tr, bsp)
@@ -149,7 +155,12 @@ func TestConfigValidateErrors(t *testing.T) {
 		{"k too large", func(c *Config) { c.K = 33 }, "K must be"},
 		{"workers", func(c *Config) { c.Workers = -1 }, "Workers"},
 		{"partitioner", func(c *Config) { c.Partitioner = nil }, "Partitioner"},
-		{"link", func(c *Config) { c.Link.BytesPerCycle = 0 }, "bandwidth"},
+		{"link", func(c *Config) { c.Topo.BytesPerCycle = 0 }, "bandwidth"},
+		{"latency", func(c *Config) { c.Topo.LatencyCycles = -1 }, "latency"},
+		{"torus", func(c *Config) { c.Topo.Kind = topo.Torus2D; c.Topo.TorusX, c.Topo.TorusY = 3, 1 }, "rectangular"},
+		{"dragonfly", func(c *Config) { c.Topo.Kind = topo.Dragonfly; c.Topo.GroupSize = 3 }, "divide"},
+		{"overlap+rebalance", func(c *Config) { c.Partitioner = NewRebalancePartitioner(12, 1); c.Overlap = true }, "BSP"},
+		{"rebalance zero period", func(c *Config) { c.Partitioner = &RebalancePartitioner{M: 12} }, "Every"},
 		{"nmp", func(c *Config) { c.NMP.Channels = 0 }, "channel"},
 	} {
 		cfg := base

@@ -1,7 +1,7 @@
 // Package scaleout models a multi-node NMP-PaK deployment: N virtual
 // nodes, each a full single-node system (channels, PEs, host CPU —
-// internal/nmp's model), joined by a full-mesh interconnect
-// (LinkConfig). The paper evaluates one NMP node against a 1,024-node
+// internal/nmp's model), joined by a routed, topology-aware interconnect
+// (internal/topo). The paper evaluates one NMP node against a 1,024-node
 // PaKman supercomputer run (§6.4); PaKman itself is natively an MPI
 // assembler, and this package supplies the missing scale-out story by
 // simulating its distributed structure end to end:
@@ -23,10 +23,12 @@
 //     same iteration in lockstep".
 //
 // Timing is fully deterministic: software phases use an instruction-count
-// model over exact operation counts, exchanges run on the internal/sim
-// event kernel, and the per-node replays are internal/nmp simulations.
-// With Nodes == 1 every exchange is empty and the compaction phase equals
-// the single-node nmp.Simulate result cycle for cycle.
+// model over exact operation counts, exchanges route hop-by-hop through
+// the contended links of the configured topology (full mesh, 2D torus or
+// dragonfly — see internal/topo) on the internal/sim event kernel, and
+// the per-node replays are internal/nmp simulations. With Nodes == 1
+// every exchange is empty and the compaction phase equals the single-node
+// nmp.Simulate result cycle for cycle.
 package scaleout
 
 import (
@@ -37,6 +39,7 @@ import (
 	"nmppak/internal/nmp"
 	"nmppak/internal/readsim"
 	"nmppak/internal/sim"
+	"nmppak/internal/topo"
 	"nmppak/internal/trace"
 )
 
@@ -71,7 +74,10 @@ type Config struct {
 	Workers int
 
 	Partitioner Partitioner
-	Link        LinkConfig
+	// Topo declares the interconnect: topology family, shape and per-link
+	// parameters (see internal/topo). Every exchange and halo message is
+	// routed hop-by-hop through its contended links.
+	Topo topo.Config
 	// Overlap selects the compaction-replay discipline: false (default)
 	// runs BSP supersteps — compute, then exchange, then barrier — while
 	// true streams each node's halo bytes as soon as it finishes an
@@ -93,7 +99,7 @@ func DefaultConfig(n int) Config {
 		K:           32,
 		MinCount:    3,
 		Partitioner: HashPartitioner{},
-		Link:        DefaultLink(),
+		Topo:        topo.Default(),
 		NMP:         nmp.DefaultConfig(),
 		Software:    DefaultSoftwareModel(),
 	}
@@ -113,7 +119,15 @@ func (c Config) Validate() error {
 	if c.Partitioner == nil {
 		return fmt.Errorf("scaleout: Partitioner must be set")
 	}
-	if err := c.Link.Validate(); err != nil {
+	if rp, ok := c.Partitioner.(*RebalancePartitioner); ok {
+		if c.Overlap {
+			return fmt.Errorf("scaleout: RebalancePartitioner requires the BSP discipline (the migration decision is a global synchronization); unset Overlap")
+		}
+		if rp.M < 1 || rp.Every < 1 {
+			return fmt.Errorf("scaleout: RebalancePartitioner needs M >= 1 and Every >= 1, got M=%d Every=%d (use NewRebalancePartitioner)", rp.M, rp.Every)
+		}
+	}
+	if err := c.Topo.Validate(c.Nodes); err != nil {
 		return err
 	}
 	return c.NMP.Validate()
@@ -143,6 +157,7 @@ type NodeStats struct {
 type Result struct {
 	Nodes       int
 	Partitioner string
+	Topology    string // Network.Name() of the configured interconnect
 
 	Count     PhaseCycles // distributed k-mer counting
 	Construct PhaseCycles // distributed MacroNode construction
@@ -161,6 +176,12 @@ type Result struct {
 	// Imbalance is the slowest node's summed per-iteration compaction
 	// time over the mean (1.0 = perfectly balanced).
 	Imbalance float64
+
+	// Rebalancing accounting (zero unless the partitioner is a
+	// RebalancePartitioner): migrations performed between compaction
+	// iterations and the MacroNode bytes they moved over the network.
+	Rebalances    int
+	MigratedBytes int64
 
 	PerNode []NodeStats
 	// NMP holds the per-node replay results (index = node).
@@ -188,8 +209,8 @@ func (r *Result) Efficiency(base *Result) float64 {
 
 // String renders a short summary.
 func (r *Result) String() string {
-	return fmt.Sprintf("scaleout: %d nodes (%s), %.3f ms total, comm %.1f%%, remote TNs %.1f%%, imbalance %.2f",
-		r.Nodes, r.Partitioner, r.Seconds*1e3, r.CommFraction*100, r.RemoteTNFrac*100, r.Imbalance)
+	return fmt.Sprintf("scaleout: %d nodes (%s, %s), %.3f ms total, comm %.1f%%, remote TNs %.1f%%, imbalance %.2f",
+		r.Nodes, r.Partitioner, r.Topology, r.Seconds*1e3, r.CommFraction*100, r.RemoteTNFrac*100, r.Imbalance)
 }
 
 // Simulate runs the full scale-out pipeline: distributed counting and
@@ -208,7 +229,14 @@ func Simulate(reads []readsim.Read, tr *trace.Trace, cfg Config) (*Result, error
 	}
 	n := cfg.Nodes
 	sw := cfg.Software
-	res := &Result{Nodes: n, Partitioner: cfg.Partitioner.Name(), PerNode: make([]NodeStats, n)}
+	net, err := cfg.Topo.Build(n)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Nodes: n, Partitioner: cfg.Partitioner.Name(), Topology: net.Name(),
+		PerNode: make([]NodeStats, n),
+	}
 
 	// Phase 1: distributed counting.
 	sc, err := CountSharded(reads, cfg)
@@ -230,8 +258,8 @@ func Simulate(reads []readsim.Read, tr *trace.Trace, cfg Config) (*Result, error
 		res.PerNode[i].KmersExtracted = e
 		res.PerNode[i].KmersOwned = len(sc.Shards[i].Kmers)
 	}
-	cx := cfg.Link.Exchange(n, sc.CountExchange)
-	res.Count = PhaseCycles{Compute: extract + merge, Exchange: cx.Cycles, Barrier: cfg.Link.BarrierCycles(n)}
+	cx := topo.Exchange(net, sc.CountExchange)
+	res.Count = PhaseCycles{Compute: extract + merge, Exchange: cx.Cycles, Barrier: net.BarrierCycles()}
 	res.ExchangedBytes += cx.TotalBytes
 
 	// Phase 2: distributed MacroNode construction.
@@ -247,21 +275,36 @@ func Simulate(reads []readsim.Read, tr *trace.Trace, cfg Config) (*Result, error
 		}
 		res.PerNode[i].MacroNodes = sg.Graphs[i].Len()
 	}
-	gx := cfg.Link.Exchange(n, sg.GraphExchange)
-	res.Construct = PhaseCycles{Compute: construct, Exchange: gx.Cycles, Barrier: cfg.Link.BarrierCycles(n)}
+	gx := topo.Exchange(net, sg.GraphExchange)
+	res.Construct = PhaseCycles{Compute: construct, Exchange: gx.Cycles, Barrier: net.BarrierCycles()}
 	res.ExchangedBytes += gx.TotalBytes
 
 	// Phase 3: compaction replay on the distributed runtime — N stepwise
 	// per-node engines and the interconnect on one shared event timeline,
-	// scheduled BSP or overlapped per cfg.Overlap (see runtime.go).
-	st := ShardTrace(tr, n, cfg.Partitioner)
-	res.HaloBytes = st.HaloBytes
-	res.RemoteTNFrac = st.RemoteTNFrac()
-	rt, err := newRuntime(st, cfg)
-	if err != nil {
-		return nil, err
+	// scheduled BSP or overlapped per cfg.Overlap (see runtime.go). A
+	// RebalancePartitioner switches to the dynamic-ownership runtime
+	// (rebalance.go), which re-shards between iterations.
+	var co *compactOutcome
+	if rp, ok := cfg.Partitioner.(*RebalancePartitioner); ok {
+		ro, err := runRebalanced(tr, net, cfg, rp)
+		if err != nil {
+			return nil, err
+		}
+		co = &ro.compactOutcome
+		res.HaloBytes = ro.HaloBytes
+		res.RemoteTNFrac = remoteTNFrac(ro.LocalTNs, ro.RemoteTNs)
+		res.Rebalances = ro.Rebalances
+		res.MigratedBytes = ro.MigratedBytes
+	} else {
+		st := ShardTrace(tr, n, cfg.Partitioner)
+		res.HaloBytes = st.HaloBytes
+		res.RemoteTNFrac = st.RemoteTNFrac()
+		rt, err := newRuntime(st, net, cfg)
+		if err != nil {
+			return nil, err
+		}
+		co = rt.run()
 	}
-	co := rt.run()
 	res.NMP = co.NMP
 	res.Compact = co.Phase
 	res.ExchangedBytes += co.ExchangedBytes

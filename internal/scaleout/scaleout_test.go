@@ -233,45 +233,8 @@ func TestScaleOutDeterminismAndMonotonicity(t *testing.T) {
 	}
 }
 
-func TestExchangeModel(t *testing.T) {
-	lc := LinkConfig{LatencyCycles: 100, BytesPerCycle: 10}
-	if st := lc.Exchange(1, mat(1)); st.Cycles != 0 || st.TotalBytes != 0 {
-		t.Fatalf("1-node exchange should be free, got %+v", st)
-	}
-	// Two nodes, one message each way: 1000 B -> 101 cy egress (100 + 1
-	// launch) + 100 latency + 101 cy ingress = 302.
-	bytes := mat(2)
-	bytes[0][1] = 1000
-	bytes[1][0] = 1000
-	st := lc.Exchange(2, bytes)
-	if st.Cycles != 302 {
-		t.Fatalf("exchange cycles = %d, want 302", st.Cycles)
-	}
-	if st.TotalBytes != 2000 || st.Messages != 2 || st.MaxEgressBytes != 1000 {
-		t.Fatalf("stats = %+v", st)
-	}
-	// Ingress contention: two senders to one receiver serialize at the
-	// receiver, 302 + 101 = 403.
-	bytes = mat(3)
-	bytes[0][2] = 1000
-	bytes[1][2] = 1000
-	st = lc.Exchange(3, bytes)
-	if st.Cycles != 403 {
-		t.Fatalf("contended exchange cycles = %d, want 403", st.Cycles)
-	}
-	if lc.BarrierCycles(1) != 0 {
-		t.Fatal("1-node barrier must be free")
-	}
-	if got := lc.BarrierCycles(8); got != 2*3*100 {
-		t.Fatalf("8-node barrier = %d, want 600", got)
-	}
-	if lc.BarrierCycles(5) != lc.BarrierCycles(8) {
-		t.Fatal("5 nodes needs the same tree depth as 8")
-	}
-}
-
 func TestPartitionerRangeAndDeterminism(t *testing.T) {
-	for _, p := range []Partitioner{HashPartitioner{}, NewMinimizerPartitioner(8)} {
+	for _, p := range []Partitioner{HashPartitioner{}, NewMinimizerPartitioner(8), NewRebalancePartitioner(8, 1)} {
 		counts := make([]int, 7)
 		for km := uint64(0); km < 10_000; km++ {
 			o := p.Owner(dnaKmer(km*2654435761), 31, 7)

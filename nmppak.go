@@ -29,6 +29,7 @@ import (
 	"nmppak/internal/pakgraph"
 	"nmppak/internal/readsim"
 	"nmppak/internal/scaleout"
+	"nmppak/internal/topo"
 	"nmppak/internal/trace"
 )
 
@@ -85,9 +86,30 @@ type (
 	// BalancedPartitioner greedy-bins minimizer super-buckets by observed
 	// k-mer mass (locality and balance; built from a counting result).
 	BalancedPartitioner = scaleout.BalancedPartitioner
+	// RebalancePartitioner lets the distributed runtime migrate minimizer
+	// super-buckets from measured stragglers to idle nodes between
+	// compaction iterations (measurement-driven re-partitioning; the
+	// migrated MacroNode bytes are charged to the interconnect).
+	RebalancePartitioner = scaleout.RebalancePartitioner
+	// TopoConfig declares the scale-out interconnect: topology kind
+	// (full mesh, 2D torus, dragonfly), shape and per-link parameters.
+	TopoConfig = topo.Config
+	// TopoKind selects the interconnect topology family.
+	TopoKind = topo.Kind
+	// Network is a routed interconnect instance (built from a TopoConfig
+	// and a node count); messages traverse it hop by hop through
+	// contended serializing links.
+	Network = topo.Network
 	// KmerResult is a counting outcome (input to BuildGraph and
 	// NewBalancedPartitioner).
 	KmerResult = kmer.Result
+)
+
+// Interconnect topology kinds for ScaleOutConfig.Topo.Kind.
+const (
+	TopoFullMesh  = topo.FullMesh
+	TopoTorus2D   = topo.Torus2D
+	TopoDragonfly = topo.Dragonfly
 )
 
 // GenerateGenome synthesizes a reference genome.
@@ -146,8 +168,31 @@ func NewNMPEngine(tr *Trace, cfg NMPConfig) (*NMPEngine, error) { return nmp.New
 
 // DefaultScaleOutConfig returns an n-node scale-out system: paper-default
 // NMP nodes joined by a 25 GB/s full-mesh interconnect, hash-partitioned,
-// BSP replay (set Overlap for the overlapped halo-exchange runtime).
+// BSP replay. Set Overlap for the overlapped halo-exchange runtime and
+// Topo for a routed topology (TorusTopo / DragonflyTopo) instead of the
+// idealized mesh.
 func DefaultScaleOutConfig(nodes int) ScaleOutConfig { return scaleout.DefaultConfig(nodes) }
+
+// DefaultTopo returns the default interconnect declaration: a 25 GB/s,
+// 1 us full mesh.
+func DefaultTopo() TopoConfig { return topo.Default() }
+
+// TorusTopo returns the default link parameters on an x-by-y 2D torus
+// with dimension-order routing (zero dims: auto near-square).
+func TorusTopo(x, y int) TopoConfig { return topo.Torus(x, y) }
+
+// DragonflyTopo returns the default link parameters on a dragonfly of
+// all-to-all groups joined by per-group-pair global channels (zero group
+// size: auto near-square).
+func DragonflyTopo(groupSize int) TopoConfig { return topo.DragonflyGroups(groupSize) }
+
+// NewRebalancePartitioner returns a measurement-driven rebalancing
+// partitioner: minimizer super-buckets of m-mers, migrated between
+// straggler and idle nodes every `every` compaction iterations based on
+// the busy times the distributed runtime measures (BSP discipline).
+func NewRebalancePartitioner(m, every int) *RebalancePartitioner {
+	return scaleout.NewRebalancePartitioner(m, every)
+}
 
 // SimulateScaleOut runs the sharded multi-node pipeline — distributed
 // k-mer counting, distributed MacroNode construction, and a distributed

@@ -116,6 +116,41 @@ func TestPublicScaleOutAPI(t *testing.T) {
 				p.Name(), ov.TotalCycles, bsp.TotalCycles)
 		}
 	}
+
+	// Routed topologies and measurement-driven rebalancing through the
+	// public surface: multi-hop contention must cost more than the
+	// idealized mesh, and the rebalancer must report its migrations.
+	mesh, err := nmppak.SimulateScaleOut(reads, tr, func() nmppak.ScaleOutConfig {
+		cfg := nmppak.DefaultScaleOutConfig(4)
+		cfg.MinCount = 1
+		return cfg
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []nmppak.TopoConfig{nmppak.TorusTopo(2, 2), nmppak.DragonflyTopo(2)} {
+		cfg := nmppak.DefaultScaleOutConfig(4)
+		cfg.MinCount = 1
+		cfg.Topo = tc
+		r, err := nmppak.SimulateScaleOut(reads, tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.TotalCycles <= mesh.TotalCycles {
+			t.Fatalf("%s: routed run not costlier than the idealized mesh (%d vs %d cycles)",
+				r.Topology, r.TotalCycles, mesh.TotalCycles)
+		}
+	}
+	rcfg := nmppak.DefaultScaleOutConfig(4)
+	rcfg.MinCount = 1
+	rcfg.Partitioner = nmppak.NewRebalancePartitioner(12, 1)
+	reb, err := nmppak.SimulateScaleOut(reads, tr, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reb.Rebalances == 0 || reb.MigratedBytes == 0 {
+		t.Fatalf("rebalancer reported no migrations: %+v", reb)
+	}
 }
 
 func TestKmerGraphHelpers(t *testing.T) {
