@@ -4,6 +4,8 @@
 //
 //	experiments [-quick] [-scale N] <id>|all
 //	experiments [-quick] [-scale N] -scaling
+//	experiments [-quick] [-scale N] -checkpoint <file>
+//	experiments [-quick] [-scale N] -restore <file>
 //
 // where <id> is one of: fig5 fig6 fig7 fig8 fig12 fig13 fig14 fig15
 // table1 table3 comm super hybrid footprint gpucap swopt ablation
@@ -11,6 +13,11 @@
 // multi-node scale-out strong/weak-scaling report, including the
 // overlapped-halo-exchange-vs-BSP comparison and the partitioner sweep
 // (hash / minimizer / weight-aware balanced) on a repeat-heavy workload.
+// The -checkpoint/-restore pair demonstrates checkpoint/restore of the
+// distributed runtime: -checkpoint pauses the scale-out run mid-compaction
+// and writes the versioned state blob to the file; -restore (same workload
+// flags) resumes it to completion and verifies the result bit for bit
+// against the uninterrupted run.
 package main
 
 import (
@@ -26,14 +33,24 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		quick   = flag.Bool("quick", false, "use the small test workload")
-		scale   = flag.Int("scale", 0, "override genome length (bp)")
-		scaling = flag.Bool("scaling", false, "run the multi-node scale-out scaling study (BSP vs. overlap, partitioner sweep)")
+		quick      = flag.Bool("quick", false, "use the small test workload")
+		scale      = flag.Int("scale", 0, "override genome length (bp)")
+		scaling    = flag.Bool("scaling", false, "run the multi-node scale-out scaling study (BSP vs. overlap, partitioner sweep)")
+		checkpoint = flag.String("checkpoint", "", "pause the scale-out run mid-compaction and write the checkpoint blob to this `file`")
+		restore    = flag.String("restore", "", "resume the scale-out run from this checkpoint `file` and verify against the uninterrupted run")
 	)
 	flag.Parse()
-	if (flag.NArg() != 1 && !*scaling) || (flag.NArg() > 0 && *scaling) {
+	modes := 0
+	for _, on := range []bool{*scaling, *checkpoint != "", *restore != ""} {
+		if on {
+			modes++
+		}
+	}
+	if (flag.NArg() != 1 && modes == 0) || (flag.NArg() > 0 && modes > 0) || modes > 1 {
 		fmt.Fprintln(os.Stderr, "usage: experiments [-quick] [-scale N] <fig5|fig6|fig7|fig8|fig12|fig13|fig14|fig15|table1|table3|comm|super|hybrid|footprint|gpucap|swopt|ablation|scaling|all>")
 		fmt.Fprintln(os.Stderr, "       experiments [-quick] [-scale N] -scaling")
+		fmt.Fprintln(os.Stderr, "       experiments [-quick] [-scale N] -checkpoint <file>")
+		fmt.Fprintln(os.Stderr, "       experiments [-quick] [-scale N] -restore <file>")
 		os.Exit(2)
 	}
 	w := experiments.DefaultWorkload()
@@ -46,6 +63,13 @@ func main() {
 	ctx, err := experiments.NewContext(w)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *checkpoint != "" || *restore != "" {
+		if err := runCheckpointMode(ctx, *checkpoint, *restore); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	var runs *experiments.SystemRuns
@@ -108,4 +132,33 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println(r.String())
+}
+
+// runCheckpointMode writes or consumes a checkpoint blob file.
+func runCheckpointMode(ctx *experiments.Context, checkpointTo, restoreFrom string) error {
+	if checkpointTo != "" {
+		f, err := os.Create(checkpointTo)
+		if err != nil {
+			return err
+		}
+		rep, err := experiments.CheckpointSave(ctx, f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.String())
+		return nil
+	}
+	f, err := os.Open(restoreFrom)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rep, err := experiments.RestoreLoad(ctx, f)
+	if rep != nil {
+		fmt.Println(rep.String())
+	}
+	return err
 }

@@ -1,0 +1,101 @@
+package dram
+
+import (
+	"fmt"
+
+	"nmppak/internal/sim"
+)
+
+// BankState is one bank's timing state, exported for checkpointing.
+type BankState struct {
+	OpenRow   int
+	HasOpen   bool
+	ActAt     sim.Cycle
+	ReadyPre  sim.Cycle
+	ReadyCmd  sim.Cycle
+	PreDoneAt sim.Cycle
+}
+
+// RankState is one rank's timing state, exported for checkpointing.
+type RankState struct {
+	ActTimes    [4]sim.Cycle
+	ActPtr      int
+	LastActAt   sim.Cycle
+	WrDataEnd   sim.Cycle
+	NextRefresh sim.Cycle
+}
+
+// ChannelState is a complete mid-run snapshot of a Channel: every bank and
+// rank timing constraint, the data-bus reservation pointer and the
+// accumulated statistics. Restoring it into a fresh channel of the same
+// geometry resumes the timing model bit-identically — the channel's
+// behaviour is a pure function of (Config, ChannelState, access stream).
+type ChannelState struct {
+	Banks   [][]BankState // [rank][bank]
+	Ranks   []RankState
+	BusFree sim.Cycle
+	Stats   Stats
+}
+
+// State deep-copies the channel's mutable state.
+func (ch *Channel) State() ChannelState {
+	st := ChannelState{
+		Banks:   make([][]BankState, len(ch.banks)),
+		Ranks:   make([]RankState, len(ch.ranks)),
+		BusFree: ch.busFree,
+		Stats:   ch.Stats,
+	}
+	for r := range ch.banks {
+		st.Banks[r] = make([]BankState, len(ch.banks[r]))
+		for b := range ch.banks[r] {
+			bk := &ch.banks[r][b]
+			st.Banks[r][b] = BankState{
+				OpenRow: bk.openRow, HasOpen: bk.hasOpen, ActAt: bk.actAt,
+				ReadyPre: bk.readyPre, ReadyCmd: bk.readyCmd, PreDoneAt: bk.preDoneAt,
+			}
+		}
+	}
+	for r := range ch.ranks {
+		rk := &ch.ranks[r]
+		st.Ranks[r] = RankState{
+			ActTimes: rk.actTimes, ActPtr: rk.actPtr, LastActAt: rk.lastActAt,
+			WrDataEnd: rk.wrDataEnd, NextRefresh: rk.nextRefresh,
+		}
+	}
+	return st
+}
+
+// SetState overwrites the channel's mutable state with a snapshot taken
+// from a channel of the same geometry. The snapshot shape must match the
+// channel's configured ranks and banks.
+func (ch *Channel) SetState(st ChannelState) error {
+	if len(st.Banks) != len(ch.banks) || len(st.Ranks) != len(ch.ranks) {
+		return fmt.Errorf("dram: state has %d ranks (%d rank entries), channel has %d",
+			len(st.Banks), len(st.Ranks), len(ch.banks))
+	}
+	for r := range st.Banks {
+		if len(st.Banks[r]) != len(ch.banks[r]) {
+			return fmt.Errorf("dram: state rank %d has %d banks, channel has %d",
+				r, len(st.Banks[r]), len(ch.banks[r]))
+		}
+	}
+	for r := range st.Banks {
+		for b := range st.Banks[r] {
+			sb := &st.Banks[r][b]
+			ch.banks[r][b] = bank{
+				openRow: sb.OpenRow, hasOpen: sb.HasOpen, actAt: sb.ActAt,
+				readyPre: sb.ReadyPre, readyCmd: sb.ReadyCmd, preDoneAt: sb.PreDoneAt,
+			}
+		}
+	}
+	for r := range st.Ranks {
+		sr := &st.Ranks[r]
+		ch.ranks[r] = rank{
+			actTimes: sr.ActTimes, actPtr: sr.ActPtr, lastActAt: sr.LastActAt,
+			wrDataEnd: sr.WrDataEnd, nextRefresh: sr.NextRefresh,
+		}
+	}
+	ch.busFree = st.BusFree
+	ch.Stats = st.Stats
+	return nil
+}

@@ -1,0 +1,121 @@
+// Checkpoint/restore driver: the cmd/experiments -checkpoint/-restore
+// flag pair. CheckpointSave runs the scale-out workload up to the middle
+// of its compaction trace and writes the paused state as a blob;
+// RestoreLoad reads the blob back, finishes the run, and verifies the
+// resumed result against the uninterrupted one — the same property the
+// internal/conformance suite sweeps across the whole config matrix,
+// demonstrated here on a real workload and a real file.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+
+	"nmppak/internal/scaleout"
+	"nmppak/internal/topo"
+)
+
+// checkpointConfig is the fixed demo configuration the -checkpoint and
+// -restore invocations share (a blob is only restorable under the exact
+// configuration it was taken under; the blob's digests enforce that): a
+// 4-node routed torus running the measurement-driven rebalancing
+// partitioner under BSP.
+func checkpointConfig(c *Context) scaleout.Config {
+	cfg := scaleout.DefaultConfig(4)
+	cfg.K = c.W.K
+	cfg.MinCount = c.W.MinCount
+	cfg.Workers = c.W.Workers
+	cfg.Topo = topo.Torus(0, 0)
+	cfg.Partitioner = scaleout.NewRebalancePartitioner(12, 1)
+	return cfg
+}
+
+// CheckpointSave pauses the scale-out run mid-compaction and writes the
+// versioned blob to w.
+func CheckpointSave(c *Context, w io.Writer) (*Report, error) {
+	tr, err := c.Trace()
+	if err != nil {
+		return nil, err
+	}
+	cfg := checkpointConfig(c)
+	at := len(tr.Iterations) / 2
+	blob, err := scaleout.Checkpoint(c.Reads, tr, cfg, at)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(blob); err != nil {
+		return nil, err
+	}
+	text := fmt.Sprintf(
+		"checkpointed a %d-node %s %s run before compaction iteration %d of %d\n"+
+			"blob: version %d, %d bytes (engine timing state + measured durations; the trace itself stays outside)\n"+
+			"restore with: experiments -restore <file> (same workload flags)\n",
+		cfg.Nodes, cfg.Topo.Kind, cfg.Partitioner.Name(), at, len(tr.Iterations),
+		scaleout.CheckpointVersion, len(blob))
+	return &Report{
+		ID:    "checkpoint",
+		Title: "mid-run checkpoint of the distributed runtime",
+		Text:  text,
+		Measured: map[string]float64{
+			"blob_bytes":      float64(len(blob)),
+			"checkpoint_iter": float64(at),
+		},
+	}, nil
+}
+
+// RestoreLoad reads a blob written by CheckpointSave (under the same
+// workload), resumes the run to completion, and cross-checks the result
+// bit for bit against the uninterrupted simulation.
+func RestoreLoad(c *Context, r io.Reader) (*Report, error) {
+	blob, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := c.Trace()
+	if err != nil {
+		return nil, err
+	}
+	cfg := checkpointConfig(c)
+	ck, err := scaleout.UnmarshalCheckpoint(blob)
+	if err != nil {
+		return nil, err
+	}
+	res, err := scaleout.Restore(tr, cfg, blob)
+	if err != nil {
+		return nil, err
+	}
+	want, err := scaleout.Simulate(c.Reads, tr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	identical := reflect.DeepEqual(res, want)
+	text := fmt.Sprintf(
+		"resumed at compaction iteration %d of %d: %s\n"+
+			"uninterrupted run:                       %s\n"+
+			"bit-identical resume: %v\n",
+		ck.ResumeIter, len(tr.Iterations), res, want, identical)
+	rep := &Report{
+		ID:    "restore",
+		Title: "resume from a checkpoint blob, verified against the uninterrupted run",
+		Text:  text,
+		Measured: map[string]float64{
+			"resume_iter":          float64(ck.ResumeIter),
+			"bit_identical_resume": b2f(identical),
+			"total_ms":             res.Seconds * 1e3,
+			"rebalances":           float64(res.Rebalances),
+		},
+	}
+	if !identical {
+		return rep, fmt.Errorf("restored result is not bit-identical to the uninterrupted run")
+	}
+	return rep, nil
+}
+
+// b2f renders a boolean as a measured 0/1.
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,77 @@
+package nmp
+
+import (
+	"fmt"
+
+	"nmppak/internal/dram"
+	"nmppak/internal/sim"
+	"nmppak/internal/trace"
+)
+
+// EngineState is a complete snapshot of a quiescent Engine between
+// StepIteration calls: the trace cursor, the local clock, the accumulated
+// (unsealed) result, and every DRAM channel's timing state. An engine's
+// intra-iteration behaviour is a pure function of (trace, Config,
+// EngineState), so ResumeEngine continues a replay bit-identically to the
+// uninterrupted run — the foundation internal/scaleout's distributed
+// checkpoint/restore builds on.
+type EngineState struct {
+	// Next is the index of the first iteration still to be stepped.
+	Next int
+	// Clock is the local end time of the last stepped iteration.
+	Clock sim.Cycle
+	// Res is the mid-run accumulated result (aggregate fields unsealed:
+	// Result() has not been called).
+	Res Result
+	// Channels holds one timing snapshot per DRAM channel.
+	Channels []dram.ChannelState
+}
+
+// Snapshot deep-copies the engine's state. The engine must be quiescent
+// (it always is between StepIteration calls) and not yet sealed by
+// Result().
+func (e *Engine) Snapshot() (EngineState, error) {
+	if e.final {
+		return EngineState{}, fmt.Errorf("nmp: Snapshot after Result")
+	}
+	st := EngineState{
+		Next:     e.next,
+		Clock:    e.clock,
+		Res:      e.res,
+		Channels: make([]dram.ChannelState, len(e.channels)),
+	}
+	st.Res.PerIter = append([]IterTiming(nil), e.res.PerIter...)
+	st.Res.Mem = append([]dram.Stats(nil), e.res.Mem...)
+	for i, ch := range e.channels {
+		st.Channels[i] = ch.State()
+	}
+	return st, nil
+}
+
+// ResumeEngine reconstructs an Engine mid-replay from a snapshot: the same
+// trace and configuration the snapshot was taken under, positioned to step
+// iteration st.Next. Iterations before st.Next are never read again, so a
+// caller that reconstructs tr may substitute empty placeholders for them.
+func ResumeEngine(tr *trace.Trace, cfg Config, st EngineState) (*Engine, error) {
+	e, err := NewEngine(tr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if st.Next < 0 || st.Next > len(tr.Iterations) {
+		return nil, fmt.Errorf("nmp: resume cursor %d outside trace of %d iterations", st.Next, len(tr.Iterations))
+	}
+	if len(st.Channels) != len(e.channels) {
+		return nil, fmt.Errorf("nmp: state has %d channels, config has %d", len(st.Channels), len(e.channels))
+	}
+	for i, ch := range e.channels {
+		if err := ch.SetState(st.Channels[i]); err != nil {
+			return nil, err
+		}
+	}
+	e.next = st.Next
+	e.clock = st.Clock
+	e.res = st.Res
+	e.res.PerIter = append([]IterTiming(nil), st.Res.PerIter...)
+	e.res.Mem = append([]dram.Stats(nil), st.Res.Mem...)
+	return e, nil
+}

@@ -1,0 +1,125 @@
+package nmp
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+)
+
+// Snapshotting an engine at every iteration boundary and resuming from the
+// snapshot must finish with a result bit-identical to the uninterrupted
+// replay: the engine's behaviour is a pure function of (trace, config,
+// state), including the DRAM bank timing carried across the boundary.
+func TestEngineSnapshotResumeEquivalence(t *testing.T) {
+	tr := getTrace(t)
+	cfg := DefaultConfig()
+	want, err := Simulate(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut <= len(tr.Iterations); cut++ {
+		e, err := NewEngine(tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < cut; i++ {
+			e.StepIteration(e.NextStart())
+		}
+		st, err := e.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Mutating the donor afterwards must not leak into the snapshot.
+		for !e.Done() {
+			e.StepIteration(e.NextStart())
+		}
+		r, err := ResumeEngine(tr, cfg, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Next() != cut || r.Now() != st.Clock {
+			t.Fatalf("cut %d: resumed at next=%d clock=%d", cut, r.Next(), r.Now())
+		}
+		for !r.Done() {
+			r.StepIteration(r.NextStart())
+		}
+		if got := r.Result(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("cut %d: resumed result differs from uninterrupted run:\n%+v\nvs\n%+v", cut, got, want)
+		}
+	}
+}
+
+// Snapshot must deep-copy: stepping the donor engine after the snapshot
+// cannot change the snapshot's contents. The reference is a serialized
+// copy taken before the donor advances, so a shallow Snapshot — whose
+// slices would alias the engine's live arrays — is actually caught.
+func TestEngineSnapshotIsolation(t *testing.T) {
+	tr := getTrace(t)
+	cfg := DefaultConfig()
+	e, err := NewEngine(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.StepIteration(e.NextStart())
+	st, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before bytes.Buffer
+	if err := gob.NewEncoder(&before).Encode(st); err != nil {
+		t.Fatal(err)
+	}
+	for !e.Done() {
+		e.StepIteration(e.NextStart())
+	}
+	var after bytes.Buffer
+	if err := gob.NewEncoder(&after).Encode(st); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatal("snapshot mutated by stepping the donor engine")
+	}
+}
+
+func TestEngineResumeErrors(t *testing.T) {
+	tr := getTrace(t)
+	cfg := DefaultConfig()
+	e, err := NewEngine(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.StepIteration(e.NextStart())
+	st, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := ResumeEngine(nil, cfg, st); err == nil {
+		t.Error("ResumeEngine accepted a nil trace")
+	}
+	bad := st
+	bad.Next = len(tr.Iterations) + 1
+	if _, err := ResumeEngine(tr, cfg, bad); err == nil {
+		t.Error("ResumeEngine accepted an out-of-range cursor")
+	}
+	bad = st
+	bad.Next = -1
+	if _, err := ResumeEngine(tr, cfg, bad); err == nil {
+		t.Error("ResumeEngine accepted a negative cursor")
+	}
+	narrow := cfg
+	narrow.Channels = cfg.Channels / 2
+	if _, err := ResumeEngine(tr, narrow, st); err == nil {
+		t.Error("ResumeEngine accepted a channel-count mismatch")
+	}
+	// A sealed engine has folded channel stats into the result; a snapshot
+	// of it would double-count on resume.
+	for !e.Done() {
+		e.StepIteration(e.NextStart())
+	}
+	e.Result()
+	if _, err := e.Snapshot(); err == nil {
+		t.Error("Snapshot allowed on a sealed engine")
+	}
+}

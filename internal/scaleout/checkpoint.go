@@ -1,0 +1,562 @@
+// Checkpoint/restore for the distributed runtime: a paused run is
+// exported as a versioned, deterministic byte blob between compaction
+// iterations and later reconstructed into a runtime that resumes and
+// finishes with results bit-identical to the uninterrupted run.
+//
+// What goes in the blob is exactly the state that is not a pure function
+// of the immutable inputs (reads, trace, Config):
+//
+//   - the pre-compaction phases (counting, construction): their timing and
+//     per-node software statistics, so a restored run never re-runs the
+//     software pipeline;
+//   - each node's stepwise nmp.Engine: trace cursor, local clock,
+//     accumulated result and every DRAM channel's bank/rank/bus timing
+//     (nmp.EngineState) — the engines are quiescent between iterations, so
+//     this snapshot is complete;
+//   - the measured per-node, per-iteration compute durations of the
+//     iterations already executed. The BSP discipline resumes from partial
+//     superstep sums; the overlapped discipline replays its global
+//     event-driven macro-schedule from cycle 0 with the recorded durations
+//     standing in for the already-executed engine steps (the schedule is a
+//     deterministic function of durations × halo traffic × topology, so
+//     the replay reproduces the uninterrupted timeline exactly while
+//     skipping the engine micro-simulation);
+//   - for a RebalancePartitioner: the migrated ownership table and the
+//     measurement state (cumulative and last-iteration busy times, bucket
+//     weights) the next migration decision reads, plus the accumulated
+//     migration/halo accounting.
+//
+// The sharded sub-traces and link clocks are deliberately NOT in the blob:
+// sharding is a pure function of (trace, partitioner table) and is
+// recomputed on restore, and every topo link clock is reconstructed by the
+// deterministic schedule replay. That keeps the blob small (engine timing
+// state + durations, not the trace) and keeps one source of truth.
+//
+// Restore refuses blobs it cannot honour: short or truncated blobs, an
+// unknown version tag, and any drift between the blob's recorded identity
+// (node count, K, discipline, partitioner, topology, full config digest,
+// trace digest) and the (trace, Config) presented at restore time.
+package scaleout
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+
+	"nmppak/internal/dna"
+	"nmppak/internal/nmp"
+	"nmppak/internal/readsim"
+	"nmppak/internal/sim"
+	"nmppak/internal/topo"
+	"nmppak/internal/trace"
+)
+
+// CheckpointVersion is the current blob format version. Restore rejects
+// any other version; bump it whenever CheckpointState (or anything it
+// embeds, such as nmp.EngineState) changes incompatibly.
+const CheckpointVersion = 1
+
+// checkpointMagic prefixes every blob, before the little-endian uint32
+// version tag and the gob-encoded CheckpointState payload.
+const checkpointMagic = "NMPPAK-CKPT\n"
+
+// RebalanceState is the dynamic-ownership runtime's extra checkpoint
+// state: the migrated bucket table and the measurements feeding the next
+// migration decision.
+type RebalanceState struct {
+	// Table is the super-bucket ownership table after the migrations
+	// performed so far.
+	Table []uint16
+	// Cum and LastDur are the measured cumulative and last-iteration busy
+	// times per node; Weight is the last iteration's per-bucket traced
+	// MacroNode bytes.
+	Cum     []sim.Cycle
+	LastDur []sim.Cycle
+	Weight  []int64
+	// Accumulated traffic and migration accounting over the executed
+	// iterations.
+	LocalTNs      int64
+	RemoteTNs     int64
+	HaloBytes     int64
+	Rebalances    int
+	MigratedBytes int64
+}
+
+// CheckpointState is the decoded form of a checkpoint blob: everything a
+// Restore needs beyond the immutable (trace, Config) inputs. Most callers
+// only move the opaque blob around; the struct is exported so tools and
+// the conformance harness can introspect it.
+type CheckpointState struct {
+	Version uint32
+
+	// Identity of the run the blob belongs to. Restore matches these
+	// against the presented configuration and trace.
+	ConfigDigest uint64
+	TraceDigest  uint64
+	Nodes        int
+	K            int
+	Overlap      bool
+	Partitioner  string
+	Topology     string
+
+	// Pre-compaction result (phases 1 and 2 plus per-node software
+	// statistics), so a restored run skips the software pipeline.
+	Count                 PhaseCycles
+	Construct             PhaseCycles
+	PerNode               []NodeStats
+	PreludeExchangedBytes int64
+
+	// ResumeIter is the first compaction iteration still to execute;
+	// Durations[i][it] holds node i's measured compute time for every
+	// it < ResumeIter, and Engines[i] is node i's quiescent mid-run state.
+	ResumeIter int
+	Durations  [][]sim.Cycle
+	Engines    []nmp.EngineState
+
+	// BSP partial sums over the executed iterations (ignored by the
+	// overlapped discipline, which replays its schedule from the recorded
+	// durations instead).
+	Compute               sim.Cycle
+	Exchange              sim.Cycle
+	CompactExchangedBytes int64
+
+	// Rebalance is present exactly when the run uses a
+	// RebalancePartitioner.
+	Rebalance *RebalanceState
+}
+
+// Checkpoint runs the scale-out pipeline — the software phases and the
+// first beforeIter compaction iterations — and exports the paused state as
+// a versioned, deterministic blob instead of finishing. beforeIter may be
+// 0 (pause right after MacroNode construction) up to the trace's iteration
+// count (pause after the last iteration, before sealing). The same
+// (reads, trace, cfg, beforeIter) always yields a byte-identical blob.
+//
+// Restore(tr, cfg, blob) — same trace, same config — resumes the run and
+// returns a Result bit-identical to Simulate(reads, tr, cfg).
+func Checkpoint(reads []readsim.Read, tr *trace.Trace, cfg Config, beforeIter int) ([]byte, error) {
+	net, err := validateRun(tr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	iters := len(tr.Iterations)
+	if beforeIter < 0 || beforeIter > iters {
+		return nil, fmt.Errorf("scaleout: checkpoint iteration %d outside [0, %d]", beforeIter, iters)
+	}
+	res, err := runPrelude(reads, cfg, net)
+	if err != nil {
+		return nil, err
+	}
+	ck := &CheckpointState{
+		Version:               CheckpointVersion,
+		ConfigDigest:          configDigest(cfg, net.Name()),
+		TraceDigest:           traceDigest(tr),
+		Nodes:                 cfg.Nodes,
+		K:                     cfg.K,
+		Overlap:               cfg.Overlap,
+		Partitioner:           cfg.Partitioner.Name(),
+		Topology:              net.Name(),
+		Count:                 res.Count,
+		Construct:             res.Construct,
+		PerNode:               res.PerNode,
+		PreludeExchangedBytes: res.ExchangedBytes,
+		ResumeIter:            beforeIter,
+	}
+
+	// Advance the compaction runtime to the pause point. The engines are
+	// stepped on their local back-to-back clocks (identical in both
+	// disciplines — the schedule only composes durations on the global
+	// timeline). A BSP capture also accumulates the partial superstep
+	// sums its restore resumes from; an overlapped capture skips them
+	// (its restore replays the macro-schedule from the recorded durations
+	// and never reads them).
+	if rp, ok := cfg.Partitioner.(*RebalancePartitioner); ok {
+		rr, err := newRebalanceRun(tr, net, cfg, rp)
+		if err != nil {
+			return nil, err
+		}
+		rr.advance(0, beforeIter)
+		ck.Compute, ck.Exchange = rr.compute, rr.exchange
+		ck.CompactExchangedBytes = rr.out.ExchangedBytes
+		ck.Rebalance = &RebalanceState{
+			Table:         append([]uint16(nil), rr.table...),
+			Cum:           append([]sim.Cycle(nil), rr.cum...),
+			LastDur:       append([]sim.Cycle(nil), rr.lastDur...),
+			Weight:        append([]int64(nil), rr.weight...),
+			LocalTNs:      rr.out.LocalTNs,
+			RemoteTNs:     rr.out.RemoteTNs,
+			HaloBytes:     rr.out.HaloBytes,
+			Rebalances:    rr.out.Rebalances,
+			MigratedBytes: rr.out.MigratedBytes,
+		}
+		if err := snapshotInto(ck, rr.out.Durations, rr.engines); err != nil {
+			return nil, err
+		}
+	} else {
+		st := ShardTrace(tr, cfg.Nodes, cfg.Partitioner)
+		rt, err := newRuntime(st, net, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Overlap {
+			rt.stepAdvance(0, beforeIter)
+		} else {
+			rt.bspAdvance(0, beforeIter)
+		}
+		ck.Compute, ck.Exchange = rt.compute, rt.exchange
+		ck.CompactExchangedBytes = rt.exchangedBytes
+		if err := snapshotInto(ck, rt.durations, rt.engines); err != nil {
+			return nil, err
+		}
+	}
+	return ck.Marshal()
+}
+
+// snapshotInto records the executed durations and the per-node engine
+// snapshots on the checkpoint.
+func snapshotInto(ck *CheckpointState, durations [][]sim.Cycle, engines []*nmp.Engine) error {
+	ck.Durations = make([][]sim.Cycle, len(engines))
+	ck.Engines = make([]nmp.EngineState, len(engines))
+	for i, e := range engines {
+		ck.Durations[i] = append([]sim.Cycle(nil), durations[i][:ck.ResumeIter]...)
+		st, err := e.Snapshot()
+		if err != nil {
+			return err
+		}
+		ck.Engines[i] = st
+	}
+	return nil
+}
+
+// Restore reconstructs a distributed run from a checkpoint blob — taken
+// under the same trace and configuration — and drives it to completion.
+// The returned Result is bit-identical to the uninterrupted
+// Simulate(reads, tr, cfg) the checkpoint was carved out of; the reads
+// themselves are not needed, because the blob carries the software-phase
+// outcome.
+func Restore(tr *trace.Trace, cfg Config, blob []byte) (*Result, error) {
+	ck, err := UnmarshalCheckpoint(blob)
+	if err != nil {
+		return nil, err
+	}
+	net, err := validateRun(tr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := ck.matches(tr, cfg, net); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Nodes:          cfg.Nodes,
+		Partitioner:    cfg.Partitioner.Name(),
+		Topology:       net.Name(),
+		Count:          ck.Count,
+		Construct:      ck.Construct,
+		PerNode:        append([]NodeStats(nil), ck.PerNode...),
+		ExchangedBytes: ck.PreludeExchangedBytes,
+	}
+	var co *compactOutcome
+	if rp, ok := cfg.Partitioner.(*RebalancePartitioner); ok {
+		rr, err := resumeRebalanceRun(tr, net, cfg, rp, ck)
+		if err != nil {
+			return nil, err
+		}
+		rr.advance(ck.ResumeIter, rr.iters)
+		ro := rr.finish()
+		co = &ro.compactOutcome
+		res.HaloBytes = ro.HaloBytes
+		res.RemoteTNFrac = remoteTNFrac(ro.LocalTNs, ro.RemoteTNs)
+		res.Rebalances = ro.Rebalances
+		res.MigratedBytes = ro.MigratedBytes
+	} else {
+		st := ShardTrace(tr, cfg.Nodes, cfg.Partitioner)
+		res.HaloBytes = st.HaloBytes
+		res.RemoteTNFrac = st.RemoteTNFrac()
+		rt, err := resumeRuntime(st, net, cfg, ck)
+		if err != nil {
+			return nil, err
+		}
+		co = rt.run()
+	}
+	finalize(res, co)
+	return res, nil
+}
+
+// resumeRuntime rebuilds the static-partitioner runtime at the blob's
+// pause point: restored engines, recorded durations, BSP partial sums.
+func resumeRuntime(st *ShardedTrace, net topo.Network, cfg Config, ck *CheckpointState) (*runtime, error) {
+	iters := len(st.Traces[0].Iterations)
+	rt := &runtime{
+		cfg:            cfg,
+		st:             st,
+		net:            net,
+		n:              cfg.Nodes,
+		iters:          iters,
+		start:          ck.ResumeIter,
+		engines:        make([]*nmp.Engine, cfg.Nodes),
+		durations:      make([][]sim.Cycle, cfg.Nodes),
+		compute:        ck.Compute,
+		exchange:       ck.Exchange,
+		exchangedBytes: ck.CompactExchangedBytes,
+	}
+	for i := range rt.engines {
+		e, err := nmp.ResumeEngine(st.Traces[i], cfg.NMP, ck.Engines[i])
+		if err != nil {
+			return nil, err
+		}
+		rt.engines[i] = e
+		rt.durations[i] = make([]sim.Cycle, iters)
+		copy(rt.durations[i], ck.Durations[i])
+	}
+	return rt, nil
+}
+
+// resumeRebalanceRun rebuilds the dynamic-ownership run at the blob's
+// pause point. The per-node sub-traces of the executed iterations are
+// replaced by empty placeholders (a resumed engine never reads behind its
+// cursor); only the iteration-0 quantile tables — the engines' static DIMM
+// mapping option — are reconstructed, by re-sharding iteration 0 under the
+// deterministic initial assignment the run started from.
+func resumeRebalanceRun(tr *trace.Trace, net topo.Network, cfg Config, p *RebalancePartitioner, ck *CheckpointState) (*rebalanceRun, error) {
+	rr := newRebalanceState(tr, net, cfg, p)
+	rs := ck.Rebalance
+	copy(rr.table, rs.Table)
+	copy(rr.cum, rs.Cum)
+	copy(rr.lastDur, rs.LastDur)
+	copy(rr.weight, rs.Weight)
+	rr.compute, rr.exchange = ck.Compute, ck.Exchange
+	rr.out.ExchangedBytes = ck.CompactExchangedBytes
+	rr.out.LocalTNs, rr.out.RemoteTNs, rr.out.HaloBytes = rs.LocalTNs, rs.RemoteTNs, rs.HaloBytes
+	rr.out.Rebalances, rr.out.MigratedBytes = rs.Rebalances, rs.MigratedBytes
+	for i := range rr.out.Durations {
+		copy(rr.out.Durations[i], ck.Durations[i])
+	}
+
+	var quantiles [][]dna.Kmer
+	if ck.ResumeIter > 0 && rr.iters > 0 {
+		init := make([]uint16, BalancedBuckets)
+		for b := range init {
+			init[b] = uint16(initialOwner(b, rr.n))
+		}
+		subs, _, _, _ := shardIteration(&tr.Iterations[0], rr.n,
+			func(key dna.Kmer) int { return int(init[p.bucket(key, rr.k1)]) }, mat(rr.n))
+		quantiles = make([][]dna.Kmer, rr.n)
+		for o := range subs {
+			quantiles[o] = subs[o].Quantiles
+		}
+	}
+	for i := 0; i < rr.n; i++ {
+		rr.traces[i] = &trace.Trace{K: tr.K, Iterations: make([]trace.Iteration, ck.ResumeIter)}
+		if quantiles != nil {
+			rr.traces[i].Quantiles = quantiles[i]
+		}
+		e, err := nmp.ResumeEngine(rr.traces[i], cfg.NMP, ck.Engines[i])
+		if err != nil {
+			return nil, err
+		}
+		rr.engines[i] = e
+	}
+	return rr, nil
+}
+
+// Marshal encodes the checkpoint as magic + version tag + gob payload.
+// Encoding is deterministic: the same state always yields the same bytes.
+func (ck *CheckpointState) Marshal() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(checkpointMagic)
+	var vtag [4]byte
+	binary.LittleEndian.PutUint32(vtag[:], ck.Version)
+	buf.Write(vtag[:])
+	if err := gob.NewEncoder(&buf).Encode(ck); err != nil {
+		return nil, fmt.Errorf("scaleout: checkpoint encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalCheckpoint decodes and structurally validates a checkpoint
+// blob. It returns an error — never panics — on truncated input, a wrong
+// magic or version tag, or internally inconsistent state.
+func UnmarshalCheckpoint(blob []byte) (*CheckpointState, error) {
+	head := len(checkpointMagic) + 4
+	if len(blob) < head {
+		return nil, fmt.Errorf("scaleout: checkpoint blob truncated (%d bytes, header is %d)", len(blob), head)
+	}
+	if string(blob[:len(checkpointMagic)]) != checkpointMagic {
+		return nil, fmt.Errorf("scaleout: not a checkpoint blob (bad magic)")
+	}
+	v := binary.LittleEndian.Uint32(blob[len(checkpointMagic):head])
+	if v != CheckpointVersion {
+		return nil, fmt.Errorf("scaleout: checkpoint version %d unsupported (this build reads version %d)", v, CheckpointVersion)
+	}
+	ck := &CheckpointState{}
+	r := bytes.NewReader(blob[head:])
+	if err := gob.NewDecoder(r).Decode(ck); err != nil {
+		return nil, fmt.Errorf("scaleout: checkpoint decode (truncated or corrupt blob): %w", err)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("scaleout: checkpoint blob has %d trailing bytes past the payload", r.Len())
+	}
+	if ck.Version != v {
+		return nil, fmt.Errorf("scaleout: checkpoint header version %d does not match payload version %d", v, ck.Version)
+	}
+	if err := ck.validate(); err != nil {
+		return nil, err
+	}
+	return ck, nil
+}
+
+// validate checks the decoded state's internal consistency, so Restore
+// can index into it without panicking even on adversarial blobs.
+func (ck *CheckpointState) validate() error {
+	if ck.Nodes < 1 {
+		return fmt.Errorf("scaleout: checkpoint has %d nodes", ck.Nodes)
+	}
+	if ck.ResumeIter < 0 {
+		return fmt.Errorf("scaleout: checkpoint resume iteration %d is negative", ck.ResumeIter)
+	}
+	if len(ck.PerNode) != ck.Nodes || len(ck.Engines) != ck.Nodes || len(ck.Durations) != ck.Nodes {
+		return fmt.Errorf("scaleout: checkpoint per-node state sized %d/%d/%d for %d nodes",
+			len(ck.PerNode), len(ck.Engines), len(ck.Durations), ck.Nodes)
+	}
+	for i := range ck.Durations {
+		if len(ck.Durations[i]) != ck.ResumeIter {
+			return fmt.Errorf("scaleout: checkpoint node %d records %d durations, resume iteration is %d",
+				i, len(ck.Durations[i]), ck.ResumeIter)
+		}
+		if ck.Engines[i].Next != ck.ResumeIter {
+			return fmt.Errorf("scaleout: checkpoint node %d engine cursor %d, resume iteration is %d",
+				i, ck.Engines[i].Next, ck.ResumeIter)
+		}
+	}
+	if rs := ck.Rebalance; rs != nil {
+		if len(rs.Table) != BalancedBuckets || len(rs.Weight) != BalancedBuckets {
+			return fmt.Errorf("scaleout: checkpoint rebalance tables sized %d/%d, want %d",
+				len(rs.Table), len(rs.Weight), BalancedBuckets)
+		}
+		if len(rs.Cum) != ck.Nodes || len(rs.LastDur) != ck.Nodes {
+			return fmt.Errorf("scaleout: checkpoint rebalance measurements sized %d/%d for %d nodes",
+				len(rs.Cum), len(rs.LastDur), ck.Nodes)
+		}
+		for b, o := range rs.Table {
+			if int(o) >= ck.Nodes {
+				return fmt.Errorf("scaleout: checkpoint rebalance bucket %d owned by node %d of %d", b, o, ck.Nodes)
+			}
+		}
+	}
+	return nil
+}
+
+// matches verifies the blob belongs to the presented (trace, Config) pair.
+func (ck *CheckpointState) matches(tr *trace.Trace, cfg Config, net topo.Network) error {
+	if cfg.Nodes != ck.Nodes {
+		return fmt.Errorf("scaleout: checkpoint taken on %d nodes, config has %d", ck.Nodes, cfg.Nodes)
+	}
+	if cfg.K != ck.K {
+		return fmt.Errorf("scaleout: checkpoint taken at K=%d, config has K=%d", ck.K, cfg.K)
+	}
+	if cfg.Overlap != ck.Overlap {
+		return fmt.Errorf("scaleout: checkpoint taken with overlap=%v, config has overlap=%v", ck.Overlap, cfg.Overlap)
+	}
+	if name := cfg.Partitioner.Name(); name != ck.Partitioner {
+		return fmt.Errorf("scaleout: checkpoint taken under partitioner %q, config has %q", ck.Partitioner, name)
+	}
+	if name := net.Name(); name != ck.Topology {
+		return fmt.Errorf("scaleout: checkpoint taken on topology %q, config builds %q", ck.Topology, name)
+	}
+	if _, isRb := cfg.Partitioner.(*RebalancePartitioner); isRb != (ck.Rebalance != nil) {
+		return fmt.Errorf("scaleout: checkpoint rebalance state presence (%v) does not match the partitioner", ck.Rebalance != nil)
+	}
+	if d := configDigest(cfg, net.Name()); d != ck.ConfigDigest {
+		return fmt.Errorf("scaleout: configuration digest %016x does not match checkpoint %016x", d, ck.ConfigDigest)
+	}
+	if ck.ResumeIter > len(tr.Iterations) {
+		return fmt.Errorf("scaleout: checkpoint resumes at iteration %d, trace has %d", ck.ResumeIter, len(tr.Iterations))
+	}
+	if d := traceDigest(tr); d != ck.TraceDigest {
+		return fmt.Errorf("scaleout: trace digest %016x does not match checkpoint %016x", d, ck.TraceDigest)
+	}
+	return nil
+}
+
+// configDigest fingerprints every configuration field the simulation
+// outcome depends on. Workers is deliberately excluded: it bounds host
+// parallelism while computing the (deterministic) result, so a blob may be
+// restored on a machine with a different core count.
+func configDigest(cfg Config, topoName string) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "nodes=%d k=%d min=%d overlap=%v part=%s topo=%s|%+v nmp=%+v sw=%+v",
+		cfg.Nodes, cfg.K, cfg.MinCount, cfg.Overlap,
+		partitionerID(cfg.Partitioner), topoName, cfg.Topo, cfg.NMP, cfg.Software)
+	return h.Sum64()
+}
+
+// partitionerID renders a partitioner's identity beyond its name: a
+// BalancedPartitioner folds in its assignment-table fingerprint (two
+// same-named instances built from different samples shard differently)
+// and a RebalancePartitioner its migration trigger.
+func partitionerID(p Partitioner) string {
+	switch pp := p.(type) {
+	case BalancedPartitioner:
+		return fmt.Sprintf("%s#%016x", pp.Name(), pp.Fingerprint())
+	case *BalancedPartitioner:
+		// The pointer form satisfies Partitioner through the value
+		// receivers; identity must not depend on which form the caller
+		// happened to store.
+		return fmt.Sprintf("%s#%016x", pp.Name(), pp.Fingerprint())
+	case *RebalancePartitioner:
+		return fmt.Sprintf("%s@%g", pp.Name(), pp.Trigger)
+	default:
+		return p.Name()
+	}
+}
+
+// traceDigest fingerprints the compaction trace's full contents — shape
+// plus every recorded operation (node keys and sizes, transfer routing
+// and payloads, update volumes) — so a blob cannot be restored against a
+// different trace that merely shares the shape. One FNV pass over the
+// packed fields; the quantile tables are derived from the node streams
+// and need no separate hashing.
+func traceDigest(tr *trace.Trace) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	w := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	w(uint64(tr.K))
+	w(uint64(len(tr.Iterations)))
+	for i := range tr.Iterations {
+		it := &tr.Iterations[i]
+		w(uint64(len(it.Nodes)))
+		w(uint64(len(it.Transfers)))
+		w(uint64(len(it.Updates)))
+		for j := range it.Nodes {
+			nd := &it.Nodes[j]
+			w(uint64(nd.Key))
+			w(uint64(uint32(nd.D1)) | uint64(uint32(nd.D2))<<32)
+			w(uint64(uint32(nd.Exts)) | uint64(uint32(nd.Wires))<<32)
+			if nd.Invalidated {
+				w(1)
+			} else {
+				w(0)
+			}
+		}
+		for j := range it.Transfers {
+			tn := &it.Transfers[j]
+			w(uint64(uint32(tn.SrcIdx)) | uint64(uint32(tn.DstIdx))<<32)
+			v := uint64(uint32(tn.TNBytes))
+			if tn.SuffixSide {
+				v |= 1 << 32
+			}
+			w(v)
+		}
+		for j := range it.Updates {
+			u := &it.Updates[j]
+			w(uint64(uint32(u.DstIdx)))
+			w(uint64(uint32(u.ReadBytes)) | uint64(uint32(u.WriteBytes))<<32)
+		}
+	}
+	return h.Sum64()
+}

@@ -190,85 +190,124 @@ func (p *RebalancePartitioner) migrate(table []uint16, cum, dur []sim.Cycle, wei
 	return moved
 }
 
-// runRebalanced executes the compaction phase with dynamic ownership:
-// BSP supersteps (the migration decision is itself a global
-// synchronization, so the BSP barrier it needs is already there), with
-// the bucket table re-fit between iterations from the measured per-node
-// busy times, and the moved MacroNodes charged over the network at their
-// traced sizes before the iteration that uses the new placement.
-func runRebalanced(tr *trace.Trace, net topo.Network, cfg Config, p *RebalancePartitioner) (*rebalanceOutcome, error) {
-	n := cfg.Nodes
-	iters := len(tr.Iterations)
-	k1 := tr.K - 1
-	out := &rebalanceOutcome{}
-	out.Durations = make([][]sim.Cycle, n)
+// rebalanceRun is the dynamic-ownership compaction runtime, restructured
+// so a run can be advanced iteration range by iteration range: runRebalanced
+// drives it start to finish, while the checkpoint layer (checkpoint.go)
+// stops mid-way, snapshots the mutable state (ownership table, measured
+// busy times, bucket weights, engines, accounting) and later reconstructs
+// an equivalent run that finishes bit-identically.
+type rebalanceRun struct {
+	tr  *trace.Trace
+	net topo.Network
+	cfg Config
+	p   *RebalancePartitioner
 
-	traces := make([]*trace.Trace, n)
-	engines := make([]*nmp.Engine, n)
-	for i := 0; i < n; i++ {
-		traces[i] = &trace.Trace{K: tr.K}
-		e, err := nmp.NewEngine(traces[i], cfg.NMP)
+	n, iters, k1 int
+
+	out     *rebalanceOutcome
+	traces  []*trace.Trace
+	engines []*nmp.Engine
+
+	table []uint16 // bucket -> owning node (mutated by migrations)
+	// iterBytes[it] is the global traced MacroNode bytes remaining from
+	// iteration it on; the suffix sums estimate how much work remains at
+	// each rebalance point (compaction decays fast, so "rest of run over
+	// last iteration" is the honest horizon for a migration's payoff).
+	iterBytes []float64
+
+	lastDur []sim.Cycle // previous iteration's measured busy time
+	cum     []sim.Cycle // measured cumulative busy time
+	weight  []int64     // previous iteration's per-bucket bytes
+	prev    []uint16    // scratch: ownership before the last migration
+
+	compute, exchange sim.Cycle
+}
+
+// newRebalanceRun prepares a fresh dynamic-ownership run: static initial
+// assignment, empty per-node traces, engines at iteration 0.
+func newRebalanceRun(tr *trace.Trace, net topo.Network, cfg Config, p *RebalancePartitioner) (*rebalanceRun, error) {
+	rr := newRebalanceState(tr, net, cfg, p)
+	for i := 0; i < rr.n; i++ {
+		rr.traces[i] = &trace.Trace{K: tr.K}
+		e, err := nmp.NewEngine(rr.traces[i], cfg.NMP)
 		if err != nil {
 			return nil, err
 		}
-		engines[i] = e
-		out.Durations[i] = make([]sim.Cycle, iters)
+		rr.engines[i] = e
 	}
-
-	table := make([]uint16, BalancedBuckets)
-	for b := range table {
-		table[b] = uint16(initialOwner(b, n))
+	for b := range rr.table {
+		rr.table[b] = uint16(initialOwner(b, rr.n))
 	}
-	ownerOf := func(key dna.Kmer) int { return int(table[p.bucket(key, k1)]) }
+	return rr, nil
+}
 
-	// iterBytes[it] is the global traced MacroNode bytes of iteration it;
-	// the suffix sums estimate how much work remains at each rebalance
-	// point (compaction decays fast, so "rest of run over last iteration"
-	// is the honest horizon for a migration's payoff).
-	iterBytes := make([]float64, iters+1)
+// newRebalanceState allocates the run skeleton shared by the fresh and the
+// restored constructors: everything derivable from the immutable inputs
+// (the remaining-work suffix sums), plus zeroed mutable state.
+func newRebalanceState(tr *trace.Trace, net topo.Network, cfg Config, p *RebalancePartitioner) *rebalanceRun {
+	n := cfg.Nodes
+	iters := len(tr.Iterations)
+	rr := &rebalanceRun{
+		tr: tr, net: net, cfg: cfg, p: p,
+		n: n, iters: iters, k1: tr.K - 1,
+		out:       &rebalanceOutcome{},
+		traces:    make([]*trace.Trace, n),
+		engines:   make([]*nmp.Engine, n),
+		table:     make([]uint16, BalancedBuckets),
+		iterBytes: make([]float64, iters+1),
+		lastDur:   make([]sim.Cycle, n),
+		cum:       make([]sim.Cycle, n),
+		weight:    make([]int64, BalancedBuckets),
+		prev:      make([]uint16, BalancedBuckets),
+	}
+	rr.out.Durations = make([][]sim.Cycle, n)
+	for i := 0; i < n; i++ {
+		rr.out.Durations[i] = make([]sim.Cycle, iters)
+	}
 	for it := iters - 1; it >= 0; it-- {
 		var b float64
 		for i := range tr.Iterations[it].Nodes {
 			nd := &tr.Iterations[it].Nodes[i]
 			b += float64(nd.D1 + nd.D2)
 		}
-		iterBytes[it] = b + iterBytes[it+1]
+		rr.iterBytes[it] = b + rr.iterBytes[it+1]
 	}
+	return rr
+}
 
-	lastDur := make([]sim.Cycle, n)          // previous iteration's measured busy time
-	cum := make([]sim.Cycle, n)              // measured cumulative busy time
-	weight := make([]int64, BalancedBuckets) // previous iteration's per-bucket bytes
-	prev := make([]uint16, BalancedBuckets)  // ownership before the last migration
-	var compute, exchange sim.Cycle
+// advance executes iterations [from, to): between iterations, re-fit
+// ownership to the measured busy times and charge the moved MacroNodes
+// over the network (straggler -> new owner); then shard the iteration
+// under the current table, step every engine, and refresh the measurement
+// state the next migration decision reads.
+func (rr *rebalanceRun) advance(from, to int) {
+	n, out, p := rr.n, rr.out, rr.p
+	for it := from; it < to; it++ {
+		iter := &rr.tr.Iterations[it]
 
-	for it := 0; it < iters; it++ {
-		iter := &tr.Iterations[it]
-
-		// Between iterations: re-fit ownership to the measured busy times
-		// and charge the moved MacroNodes over the network, straggler ->
-		// new owner. Every live MacroNode appears in its iteration's trace
-		// (P1 visits the full live population each iteration), so pricing
-		// the move off iter.Nodes charges every node a bucket move
-		// relocates; a migration that moves only drained buckets (no live
-		// nodes left) is a no-op and is not counted.
+		// Every live MacroNode appears in its iteration's trace (P1 visits
+		// the full live population each iteration), so pricing the move
+		// off iter.Nodes charges every node a bucket move relocates; a
+		// migration that moves only drained buckets (no live nodes left)
+		// is a no-op and is not counted.
 		if it > 0 && it%p.Every == 0 && n > 1 {
-			copy(prev, table)
-			lastBytes := iterBytes[it-1] - iterBytes[it]
+			copy(rr.prev, rr.table)
+			lastBytes := rr.iterBytes[it-1] - rr.iterBytes[it]
 			decay := 0.0
 			if lastBytes > 0 {
-				decay = iterBytes[it] / lastBytes
+				decay = rr.iterBytes[it] / lastBytes
 			}
-			if p.migrate(table, cum, lastDur, weight, decay, n) {
+			if p.migrate(rr.table, rr.cum, rr.lastDur, rr.weight, decay, n) {
 				move := mat(n)
 				for i := range iter.Nodes {
 					nd := &iter.Nodes[i]
-					b := p.bucket(nd.Key, k1)
-					if prev[b] != table[b] {
-						move[prev[b]][table[b]] += int64(nd.D1 + nd.D2)
+					b := p.bucket(nd.Key, rr.k1)
+					if rr.prev[b] != rr.table[b] {
+						move[rr.prev[b]][rr.table[b]] += int64(nd.D1 + nd.D2)
 					}
 				}
-				if mx := topo.Exchange(net, move); mx.TotalBytes > 0 {
-					exchange += mx.Cycles
+				if mx := topo.Exchange(rr.net, move); mx.TotalBytes > 0 {
+					rr.exchange += mx.Cycles
 					out.ExchangedBytes += mx.TotalBytes
 					out.MigratedBytes += mx.TotalBytes
 					out.Rebalances++
@@ -277,50 +316,74 @@ func runRebalanced(tr *trace.Trace, net topo.Network, cfg Config, p *RebalancePa
 		}
 
 		halo := mat(n)
-		subs, l, r, hb := shardIteration(iter, n, ownerOf, halo)
+		subs, l, r, hb := shardIteration(iter, n, rr.ownerOf, halo)
 		out.LocalTNs += l
 		out.RemoteTNs += r
 		out.HaloBytes += hb
 		for o := 0; o < n; o++ {
 			if it == 0 {
-				traces[o].Quantiles = subs[o].Quantiles
+				rr.traces[o].Quantiles = subs[o].Quantiles
 			}
-			traces[o].Iterations = append(traces[o].Iterations, subs[o])
+			rr.traces[o].Iterations = append(rr.traces[o].Iterations, subs[o])
 		}
 
-		par.ForIdx(n, cfg.Workers, func(i int) {
-			e := engines[i]
+		par.ForIdx(n, rr.cfg.Workers, func(i int) {
+			e := rr.engines[i]
 			ti := e.StepIteration(e.NextStart())
 			out.Durations[i][it] = ti.End - ti.Start
 		})
 		var slowest sim.Cycle
 		for i := 0; i < n; i++ {
-			lastDur[i] = out.Durations[i][it]
-			cum[i] += lastDur[i]
-			if lastDur[i] > slowest {
-				slowest = lastDur[i]
+			rr.lastDur[i] = out.Durations[i][it]
+			rr.cum[i] += rr.lastDur[i]
+			if rr.lastDur[i] > slowest {
+				slowest = rr.lastDur[i]
 			}
 		}
-		compute += slowest
-		hx := topo.Exchange(net, halo)
-		exchange += hx.Cycles
+		rr.compute += slowest
+		hx := topo.Exchange(rr.net, halo)
+		rr.exchange += hx.Cycles
 		out.ExchangedBytes += hx.TotalBytes
 
 		// Refresh the bucket weights that attribute this iteration's
 		// measured time for the next migration decision.
-		clear(weight)
+		clear(rr.weight)
 		for i := range iter.Nodes {
 			nd := &iter.Nodes[i]
-			weight[p.bucket(nd.Key, k1)] += int64(nd.D1 + nd.D2)
+			rr.weight[p.bucket(nd.Key, rr.k1)] += int64(nd.D1 + nd.D2)
 		}
 	}
+}
 
-	linkBarrier, syncBarrier := bspBarriers(net, cfg, iters)
-	out.Phase = PhaseCycles{Compute: compute, Exchange: exchange, Barrier: linkBarrier + syncBarrier}
+// ownerOf resolves a key under the current ownership table.
+func (rr *rebalanceRun) ownerOf(key dna.Kmer) int {
+	return int(rr.table[rr.p.bucket(key, rr.k1)])
+}
+
+// finish prices the closing barriers and seals the engines.
+func (rr *rebalanceRun) finish() *rebalanceOutcome {
+	out := rr.out
+	linkBarrier, syncBarrier := bspBarriers(rr.net, rr.cfg, rr.iters)
+	out.Phase = PhaseCycles{Compute: rr.compute, Exchange: rr.exchange, Barrier: linkBarrier + syncBarrier}
 	out.LinkBarrier = linkBarrier
-	out.NMP = make([]*nmp.Result, n)
-	for i, e := range engines {
+	out.NMP = make([]*nmp.Result, rr.n)
+	for i, e := range rr.engines {
 		out.NMP[i] = e.Result()
 	}
-	return out, nil
+	return out
+}
+
+// runRebalanced executes the compaction phase with dynamic ownership:
+// BSP supersteps (the migration decision is itself a global
+// synchronization, so the BSP barrier it needs is already there), with
+// the bucket table re-fit between iterations from the measured per-node
+// busy times, and the moved MacroNodes charged over the network at their
+// traced sizes before the iteration that uses the new placement.
+func runRebalanced(tr *trace.Trace, net topo.Network, cfg Config, p *RebalancePartitioner) (*rebalanceOutcome, error) {
+	rr, err := newRebalanceRun(tr, net, cfg, p)
+	if err != nil {
+		return nil, err
+	}
+	rr.advance(0, rr.iters)
+	return rr.finish(), nil
 }

@@ -44,16 +44,27 @@ type compactOutcome struct {
 	Durations [][]sim.Cycle
 }
 
-// runtime owns the per-node engines and the shard schedule.
+// runtime owns the per-node engines and the shard schedule. A fresh
+// runtime starts at iteration 0; one reconstructed from a checkpoint
+// (resumeRuntime, checkpoint.go) carries the recorded durations and BSP partial sums
+// of the iterations already executed and steps its engines only from
+// `start` on.
 type runtime struct {
 	cfg   Config
 	st    *ShardedTrace
 	net   topo.Network
 	n     int
 	iters int
+	start int // first iteration the engines step live
 
 	engines   []*nmp.Engine
 	durations [][]sim.Cycle
+
+	// BSP partial sums over iterations [0, start) (zero for fresh runs;
+	// bspAdvance accumulates into them).
+	compute        sim.Cycle
+	exchange       sim.Cycle
+	exchangedBytes int64
 }
 
 func newRuntime(st *ShardedTrace, net topo.Network, cfg Config) (*runtime, error) {
@@ -109,15 +120,15 @@ func (rt *runtime) run() *compactOutcome {
 	return out
 }
 
-// runBSP drives the engines superstep by superstep: all nodes step
-// iteration it (concurrently — the engines are independent), the slowest
-// node paces the step, then the iteration's halo exchange and the closing
-// barriers are appended serially, exactly as the original aggregation
-// loop priced them.
-func (rt *runtime) runBSP() *compactOutcome {
-	out := &compactOutcome{}
-	var compute, exchange sim.Cycle
-	for it := 0; it < rt.iters; it++ {
+// bspAdvance drives the engines superstep by superstep through iterations
+// [from, to): all nodes step iteration it (concurrently — the engines are
+// independent), the slowest node paces the step, then the iteration's halo
+// exchange is appended serially, exactly as the original aggregation loop
+// priced them. The partial sums accumulate on the runtime so a run can be
+// split at any iteration boundary — runBSP finishes the whole trace, the
+// checkpoint capture stops mid-way and snapshots.
+func (rt *runtime) bspAdvance(from, to int) {
+	for it := from; it < to; it++ {
 		slowest := make([]sim.Cycle, rt.n)
 		par.ForIdx(rt.n, rt.cfg.Workers, func(i int) {
 			slowest[i] = rt.step(i)
@@ -128,13 +139,35 @@ func (rt *runtime) runBSP() *compactOutcome {
 				max = d
 			}
 		}
-		compute += max
+		rt.compute += max
 		hx := topo.Exchange(rt.net, rt.st.Halo[it])
-		exchange += hx.Cycles
-		out.ExchangedBytes += hx.TotalBytes
+		rt.exchange += hx.Cycles
+		rt.exchangedBytes += hx.TotalBytes
 	}
+}
+
+// stepAdvance steps every engine through iterations [from, to) without
+// pricing the per-iteration BSP exchanges. The overlap-discipline
+// checkpoint capture uses it: an overlapped restore rebuilds its own
+// event-driven schedule (and ExchangedBytes) from the halo matrix and
+// never reads the BSP partial sums, so simulating the exchanges during
+// capture would be discarded work.
+func (rt *runtime) stepAdvance(from, to int) {
+	for it := from; it < to; it++ {
+		par.ForIdx(rt.n, rt.cfg.Workers, func(i int) {
+			rt.step(i)
+		})
+	}
+}
+
+// runBSP completes the BSP discipline from the runtime's start iteration
+// and prices the closing barriers (which depend only on the total
+// iteration count, so a restored run reproduces them exactly).
+func (rt *runtime) runBSP() *compactOutcome {
+	rt.bspAdvance(rt.start, rt.iters)
+	out := &compactOutcome{ExchangedBytes: rt.exchangedBytes}
 	linkBarrier, syncBarrier := bspBarriers(rt.net, rt.cfg, rt.iters)
-	out.Phase = PhaseCycles{Compute: compute, Exchange: exchange, Barrier: linkBarrier + syncBarrier}
+	out.Phase = PhaseCycles{Compute: rt.compute, Exchange: rt.exchange, Barrier: linkBarrier + syncBarrier}
 	out.LinkBarrier = linkBarrier
 	return out
 }
@@ -252,7 +285,18 @@ func (rt *runtime) runOverlapped() *compactOutcome {
 	}
 	begin = func(i, it int, at sim.Cycle) {
 		g.At(at, func() {
-			d := rt.step(i)
+			// A restored run replays the recorded duration of an already-
+			// executed iteration instead of re-stepping the engine: the
+			// global schedule is a deterministic function of (durations,
+			// halo, topology), so replaying the macro-schedule with the
+			// checkpointed durations reproduces the uninterrupted timeline
+			// exactly while skipping the engine micro-simulation.
+			var d sim.Cycle
+			if it < rt.start {
+				d = rt.durations[i][it]
+			} else {
+				d = rt.step(i)
+			}
 			g.After(d, func() { finish(i, it) })
 		})
 	}

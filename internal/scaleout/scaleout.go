@@ -218,6 +218,48 @@ func (r *Result) String() string {
 // lockstep compaction replay of tr (captured once from the single-node
 // execution, e.g. via nmppak.CaptureTrace or the experiments Context).
 func Simulate(reads []readsim.Read, tr *trace.Trace, cfg Config) (*Result, error) {
+	net, err := validateRun(tr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := runPrelude(reads, cfg, net)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 3: compaction replay on the distributed runtime — N stepwise
+	// per-node engines and the interconnect on one shared event timeline,
+	// scheduled BSP or overlapped per cfg.Overlap (see runtime.go). A
+	// RebalancePartitioner switches to the dynamic-ownership runtime
+	// (rebalance.go), which re-shards between iterations.
+	var co *compactOutcome
+	if rp, ok := cfg.Partitioner.(*RebalancePartitioner); ok {
+		ro, err := runRebalanced(tr, net, cfg, rp)
+		if err != nil {
+			return nil, err
+		}
+		co = &ro.compactOutcome
+		res.HaloBytes = ro.HaloBytes
+		res.RemoteTNFrac = remoteTNFrac(ro.LocalTNs, ro.RemoteTNs)
+		res.Rebalances = ro.Rebalances
+		res.MigratedBytes = ro.MigratedBytes
+	} else {
+		st := ShardTrace(tr, cfg.Nodes, cfg.Partitioner)
+		res.HaloBytes = st.HaloBytes
+		res.RemoteTNFrac = st.RemoteTNFrac()
+		rt, err := newRuntime(st, net, cfg)
+		if err != nil {
+			return nil, err
+		}
+		co = rt.run()
+	}
+	finalize(res, co)
+	return res, nil
+}
+
+// validateRun performs the shared entry checks of Simulate, Checkpoint and
+// Restore and builds the interconnect.
+func validateRun(tr *trace.Trace, cfg Config) (topo.Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -227,12 +269,17 @@ func Simulate(reads []readsim.Read, tr *trace.Trace, cfg Config) (*Result, error
 	if tr.K != cfg.K {
 		return nil, fmt.Errorf("scaleout: trace k=%d but config K=%d", tr.K, cfg.K)
 	}
+	return cfg.Topo.Build(cfg.Nodes)
+}
+
+// runPrelude executes the pre-compaction pipeline — distributed counting
+// (phase 1) and MacroNode construction (phase 2) — and returns a Result
+// with those phases and the per-node software statistics filled in. The
+// checkpoint layer snapshots exactly these fields, so a restored run can
+// skip the software phases entirely.
+func runPrelude(reads []readsim.Read, cfg Config, net topo.Network) (*Result, error) {
 	n := cfg.Nodes
 	sw := cfg.Software
-	net, err := cfg.Topo.Build(n)
-	if err != nil {
-		return nil, err
-	}
 	res := &Result{
 		Nodes: n, Partitioner: cfg.Partitioner.Name(), Topology: net.Name(),
 		PerNode: make([]NodeStats, n),
@@ -278,33 +325,13 @@ func Simulate(reads []readsim.Read, tr *trace.Trace, cfg Config) (*Result, error
 	gx := topo.Exchange(net, sg.GraphExchange)
 	res.Construct = PhaseCycles{Compute: construct, Exchange: gx.Cycles, Barrier: net.BarrierCycles()}
 	res.ExchangedBytes += gx.TotalBytes
+	return res, nil
+}
 
-	// Phase 3: compaction replay on the distributed runtime — N stepwise
-	// per-node engines and the interconnect on one shared event timeline,
-	// scheduled BSP or overlapped per cfg.Overlap (see runtime.go). A
-	// RebalancePartitioner switches to the dynamic-ownership runtime
-	// (rebalance.go), which re-shards between iterations.
-	var co *compactOutcome
-	if rp, ok := cfg.Partitioner.(*RebalancePartitioner); ok {
-		ro, err := runRebalanced(tr, net, cfg, rp)
-		if err != nil {
-			return nil, err
-		}
-		co = &ro.compactOutcome
-		res.HaloBytes = ro.HaloBytes
-		res.RemoteTNFrac = remoteTNFrac(ro.LocalTNs, ro.RemoteTNs)
-		res.Rebalances = ro.Rebalances
-		res.MigratedBytes = ro.MigratedBytes
-	} else {
-		st := ShardTrace(tr, n, cfg.Partitioner)
-		res.HaloBytes = st.HaloBytes
-		res.RemoteTNFrac = st.RemoteTNFrac()
-		rt, err := newRuntime(st, net, cfg)
-		if err != nil {
-			return nil, err
-		}
-		co = rt.run()
-	}
+// finalize folds a compaction outcome into the prelude result and derives
+// the aggregate metrics.
+func finalize(res *Result, co *compactOutcome) {
+	n := res.Nodes
 	res.NMP = co.NMP
 	res.Compact = co.Phase
 	res.ExchangedBytes += co.ExchangedBytes
@@ -336,7 +363,6 @@ func Simulate(reads []readsim.Read, tr *trace.Trace, cfg Config) (*Result, error
 	if sum > 0 {
 		res.Imbalance = float64(slowest) * float64(n) / float64(sum)
 	}
-	return res, nil
 }
 
 // log2 returns log base 2 of x, 0 for x < 2.

@@ -103,7 +103,19 @@ type (
 	// KmerResult is a counting outcome (input to BuildGraph and
 	// NewBalancedPartitioner).
 	KmerResult = kmer.Result
+	// ScaleOutCheckpoint is the decoded form of a scale-out checkpoint
+	// blob (see CheckpointScaleOut/RestoreScaleOut); most callers move the
+	// opaque blob around and never touch this.
+	ScaleOutCheckpoint = scaleout.CheckpointState
+	// NMPEngineState is a quiescent mid-run snapshot of an NMPEngine
+	// (trace cursor, local clock, accumulated result, DRAM timing), the
+	// per-node building block of a scale-out checkpoint.
+	NMPEngineState = nmp.EngineState
 )
+
+// ScaleOutCheckpointVersion is the checkpoint blob format version this
+// build reads and writes.
+const ScaleOutCheckpointVersion = scaleout.CheckpointVersion
 
 // Interconnect topology kinds for ScaleOutConfig.Topo.Kind.
 const (
@@ -202,6 +214,29 @@ func NewRebalancePartitioner(m, every int) *RebalancePartitioner {
 // equals SimulateNMP on the same trace exactly, in either mode.
 func SimulateScaleOut(reads []Read, tr *Trace, cfg ScaleOutConfig) (*ScaleOutResult, error) {
 	return scaleout.Simulate(reads, tr, cfg)
+}
+
+// CheckpointScaleOut runs the scale-out pipeline up to (but not
+// including) compaction iteration beforeIter and exports the paused run
+// as a versioned, deterministic byte blob. RestoreScaleOut — under the
+// same trace and configuration — resumes it and finishes bit-identically
+// to the uninterrupted SimulateScaleOut (the internal/conformance suite
+// pins this across the whole topology × discipline × partitioner matrix).
+func CheckpointScaleOut(reads []Read, tr *Trace, cfg ScaleOutConfig, beforeIter int) ([]byte, error) {
+	return scaleout.Checkpoint(reads, tr, cfg, beforeIter)
+}
+
+// RestoreScaleOut reconstructs a checkpointed scale-out run and drives it
+// to completion. It rejects truncated or version-mismatched blobs and
+// blobs taken under a different configuration or trace.
+func RestoreScaleOut(tr *Trace, cfg ScaleOutConfig, blob []byte) (*ScaleOutResult, error) {
+	return scaleout.Restore(tr, cfg, blob)
+}
+
+// UnmarshalScaleOutCheckpoint decodes and validates a checkpoint blob for
+// inspection (resume iteration, recorded state) without restoring it.
+func UnmarshalScaleOutCheckpoint(blob []byte) (*ScaleOutCheckpoint, error) {
+	return scaleout.UnmarshalCheckpoint(blob)
 }
 
 // NewMinimizerPartitioner returns a minimizer partitioner with m-mer

@@ -1,6 +1,7 @@
 package nmppak_test
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -150,6 +151,33 @@ func TestPublicScaleOutAPI(t *testing.T) {
 	}
 	if reb.Rebalances == 0 || reb.MigratedBytes == 0 {
 		t.Fatalf("rebalancer reported no migrations: %+v", reb)
+	}
+
+	// Checkpoint/restore through the public surface: pause mid-compaction,
+	// inspect the blob, resume, and land bit-identically on the
+	// uninterrupted rebalanced run.
+	at := len(tr.Iterations) / 2
+	blob, err := nmppak.CheckpointScaleOut(reads, tr, rcfg, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := nmppak.UnmarshalScaleOutCheckpoint(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Version != nmppak.ScaleOutCheckpointVersion || ck.ResumeIter != at {
+		t.Fatalf("blob reports version %d resume %d, want %d/%d",
+			ck.Version, ck.ResumeIter, nmppak.ScaleOutCheckpointVersion, at)
+	}
+	resumed, err := nmppak.RestoreScaleOut(tr, rcfg, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resumed, reb) {
+		t.Fatal("restored scale-out result differs from the uninterrupted run")
+	}
+	if _, err := nmppak.RestoreScaleOut(tr, rcfg, blob[:len(blob)/2]); err == nil {
+		t.Fatal("RestoreScaleOut accepted a truncated blob")
 	}
 }
 
