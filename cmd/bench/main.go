@@ -3,18 +3,29 @@
 // testing.Benchmark and writes a machine-readable JSON baseline, giving
 // every PR a recorded perf datum to be judged against:
 //
-//	go run ./cmd/bench -out BENCH_PR4.json            # full run
+//	go run ./cmd/bench -out BENCH_PR6.json            # full run
 //	go run ./cmd/bench -bench 'Fig5|ScaleOut8x'       # subset
 //	go run ./cmd/bench -benchtime 1x -out /dev/null   # smoke test
+//
+// The -check flag turns the run into a regression gate: the fresh
+// numbers are compared against a committed baseline JSON and the
+// process exits non-zero if the geometric mean of the per-benchmark
+// ns/op ratios (current over baseline) exceeds 1 + the -check-threshold
+// (default 10%). Benchmarks present on only one side are reported but
+// do not gate:
+//
+//	go run ./cmd/bench -check BENCH_PR4.json -out BENCH_PR6.json
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"regexp"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
@@ -45,9 +56,11 @@ type baseline struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR4.json", "output JSON path ('-' for stdout only)")
+	out := flag.String("out", "BENCH_PR6.json", "output JSON path ('-' for stdout only)")
 	benchRe := flag.String("bench", ".", "regexp selecting benchmark names")
 	benchtime := flag.String("benchtime", "2s", "per-benchmark time budget (Go test -benchtime syntax)")
+	check := flag.String("check", "", "baseline JSON `file` to gate against; exit 1 on geomean ns/op regression beyond -check-threshold")
+	checkThreshold := flag.Float64("check-threshold", 0.10, "allowed geomean slowdown vs. the -check baseline (0.10 = 10%)")
 	list := flag.Bool("list", false, "list benchmark names and exit")
 	testing.Init()
 	flag.Parse()
@@ -125,7 +138,75 @@ func main() {
 	} else {
 		os.Stdout.Write(buf)
 	}
+	if *check != "" {
+		if err := checkRegression(*check, base.Benchmarks, *checkThreshold, re); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// checkRegression compares the fresh records against the baseline file
+// and errors if the geometric mean of the matched ns/op ratios (current
+// over baseline) exceeds 1+threshold. Individual outliers are printed
+// either way so a localized regression hidden by an overall speedup is
+// still visible in the log. Baseline entries outside the -bench
+// selection are ignored.
+func checkRegression(path string, cur []record, threshold float64, sel *regexp.Regexp) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("check: %v", err)
+	}
+	var base baseline
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("check: parse %s: %v", path, err)
+	}
+	old := make(map[string]float64, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		if sel.MatchString(r.Name) {
+			old[r.Name] = r.NsPerOp
+		}
+	}
+	var logSum float64
+	matched := 0
+	for _, r := range cur {
+		b, ok := old[r.Name]
+		if !ok {
+			fmt.Printf("check: %-24s new benchmark, not gated\n", r.Name)
+			continue
+		}
+		delete(old, r.Name)
+		if b <= 0 || r.NsPerOp <= 0 {
+			continue
+		}
+		ratio := r.NsPerOp / b
+		logSum += math.Log(ratio)
+		matched++
+		if ratio > 1+threshold || ratio < 1/(1+threshold) {
+			fmt.Printf("check: %-24s %.2fx vs. baseline (%.0f -> %.0f ns/op)\n",
+				r.Name, ratio, b, r.NsPerOp)
+		}
+	}
+	missing := make([]string, 0, len(old))
+	for name := range old {
+		missing = append(missing, name)
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Printf("check: %-24s present only in baseline\n", name)
+	}
+	if matched == 0 {
+		return fmt.Errorf("check: no benchmarks in common with %s", path)
+	}
+	geomean := math.Exp(logSum / float64(matched))
+	fmt.Printf("check: geomean %.3fx vs. %s over %d benchmarks (threshold %.2fx)\n",
+		geomean, path, matched, 1+threshold)
+	if geomean > 1+threshold {
+		return fmt.Errorf("check: geomean regression %.3fx exceeds %.2fx vs. %s",
+			geomean, 1+threshold, path)
+	}
+	return nil
 }

@@ -6,6 +6,7 @@
 //	experiments [-quick] [-scale N] -scaling
 //	experiments [-quick] [-scale N] -checkpoint <file>
 //	experiments [-quick] [-scale N] -restore <file>
+//	experiments [-quick] [-scale N] -timeline <out.json>
 //
 // where <id> is one of: fig5 fig6 fig7 fig8 fig12 fig13 fig14 fig15
 // table1 table3 comm super hybrid footprint gpucap swopt ablation
@@ -17,7 +18,10 @@
 // distributed runtime: -checkpoint pauses the scale-out run mid-compaction
 // and writes the versioned state blob to the file; -restore (same workload
 // flags) resumes it to completion and verifies the result bit for bit
-// against the uninterrupted run.
+// against the uninterrupted run. The -timeline flag captures an 8-node
+// torus overlapped run with telemetry enabled, writes the Chrome-trace
+// JSON (open in Perfetto) to the file, and prints the utilization table
+// and critical-path report.
 package main
 
 import (
@@ -38,10 +42,11 @@ func main() {
 		scaling    = flag.Bool("scaling", false, "run the multi-node scale-out scaling study (BSP vs. overlap, partitioner sweep)")
 		checkpoint = flag.String("checkpoint", "", "pause the scale-out run mid-compaction and write the checkpoint blob to this `file`")
 		restore    = flag.String("restore", "", "resume the scale-out run from this checkpoint `file` and verify against the uninterrupted run")
+		timeline   = flag.String("timeline", "", "capture an instrumented 8-node torus overlapped run and write the Chrome-trace JSON to this `file`")
 	)
 	flag.Parse()
 	modes := 0
-	for _, on := range []bool{*scaling, *checkpoint != "", *restore != ""} {
+	for _, on := range []bool{*scaling, *checkpoint != "", *restore != "", *timeline != ""} {
 		if on {
 			modes++
 		}
@@ -51,6 +56,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "       experiments [-quick] [-scale N] -scaling")
 		fmt.Fprintln(os.Stderr, "       experiments [-quick] [-scale N] -checkpoint <file>")
 		fmt.Fprintln(os.Stderr, "       experiments [-quick] [-scale N] -restore <file>")
+		fmt.Fprintln(os.Stderr, "       experiments [-quick] [-scale N] -timeline <out.json>")
 		os.Exit(2)
 	}
 	w := experiments.DefaultWorkload()
@@ -67,6 +73,12 @@ func main() {
 
 	if *checkpoint != "" || *restore != "" {
 		if err := runCheckpointMode(ctx, *checkpoint, *restore); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *timeline != "" {
+		if err := runTimelineMode(ctx, *timeline); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -132,6 +144,25 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println(r.String())
+}
+
+// runTimelineMode captures an instrumented run and writes the
+// Chrome-trace JSON to the given file.
+func runTimelineMode(ctx *experiments.Context, out string) error {
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	rep, err := experiments.Timeline(ctx, f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep.String())
+	fmt.Printf("timeline written to %s\n", out)
+	return nil
 }
 
 // runCheckpointMode writes or consumes a checkpoint blob file.

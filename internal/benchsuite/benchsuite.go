@@ -7,6 +7,7 @@
 package benchsuite
 
 import (
+	"math"
 	"math/rand"
 	"sync"
 	"testing"
@@ -18,6 +19,7 @@ import (
 	"nmppak/internal/nmp"
 	"nmppak/internal/scaleout"
 	"nmppak/internal/sim"
+	"nmppak/internal/telemetry"
 	"nmppak/internal/topo"
 	"nmppak/internal/trace"
 )
@@ -345,6 +347,30 @@ func benchScaleOut8x(b *testing.B, overlap bool, tc topo.Config) {
 	}
 	b.ReportMetric(last.CommFraction, "comm_frac")
 	b.ReportMetric(float64(last.TotalCycles), "model_cycles")
+
+	// Cross-check the reported comm_frac against the telemetry layer's
+	// independent accounting: re-run once instrumented (off the clock)
+	// and require the span-derived communication fraction to agree with
+	// the runtime's own to float precision. A drift here means the
+	// instrumentation no longer covers every communication cycle and the
+	// published metric can't be trusted.
+	b.StopTimer()
+	icfg := cfg
+	icfg.Telemetry = telemetry.New()
+	ires, err := scaleout.Simulate(c.Reads, t, icfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := telemetry.Analyze(icfg.Telemetry)
+	if d := math.Abs(u.CommFraction - ires.CommFraction); d > 1e-9 {
+		b.Fatalf("telemetry comm fraction %.12f does not reconcile with runtime %.12f (|d|=%g)",
+			u.CommFraction, ires.CommFraction, d)
+	}
+	if ires.TotalCycles != last.TotalCycles {
+		b.Fatalf("instrumented run changed the model: %d cycles vs. %d uninstrumented",
+			ires.TotalCycles, last.TotalCycles)
+	}
+	b.StartTimer()
 }
 
 func benchScaleOut8xBSP(b *testing.B) { benchScaleOut8x(b, false, topo.Default()) }

@@ -14,7 +14,10 @@
 // paper leans on MacroNodes fitting the 8 KB row buffer; see §3.4).
 package dram
 
-import "nmppak/internal/sim"
+import (
+	"nmppak/internal/sim"
+	"nmppak/internal/telemetry"
+)
 
 // Config holds the channel geometry and timing parameters in 1.6 GHz
 // cycles (DDR4-3200: one command-clock cycle = 0.625 ns).
@@ -115,7 +118,15 @@ type Channel struct {
 	// busFree is the earliest cycle at which the next data burst may begin.
 	busFree sim.Cycle
 	Stats   Stats
+	// probe, when non-nil, receives one data-bus occupancy span per burst
+	// train (nil = telemetry disabled, zero overhead beyond one branch).
+	probe *telemetry.Track
 }
+
+// SetProbe attaches (or, with nil, detaches) a data-bus occupancy track.
+// Spans are recorded on the channel's local clock; callers re-base them to
+// global time with Track.ShiftTail.
+func (ch *Channel) SetProbe(t *telemetry.Track) { ch.probe = t }
 
 // NewChannel builds a channel from cfg (zero fields filled with DDR4-3200
 // defaults).
@@ -239,6 +250,7 @@ func (ch *Channel) AccessRow(earliest sim.Cycle, rk, bk, row, blocks int, write 
 	if ch.busFree < earliest {
 		ch.busFree = earliest
 	}
+	busStart := ch.busFree
 	var done sim.Cycle
 	for i := 0; i < blocks; i++ {
 		dataStart := maxCycle(t+lat, ch.busFree)
@@ -246,6 +258,15 @@ func (ch *Channel) AccessRow(earliest sim.Cycle, rk, bk, row, blocks int, write 
 		ch.Stats.BusBusyCycles += int64(cfg.TBL)
 		done = dataStart + sim.Cycle(cfg.TBL)
 		t = done - lat // next command slot
+	}
+	if ch.probe != nil {
+		// The reservation pointer is monotone, so [busStart, busFree)
+		// windows never overlap and their lengths sum to BusBusyCycles.
+		wr := int64(0)
+		if write {
+			wr = 1
+		}
+		ch.probe.Add(telemetry.SpanBus, busStart, ch.busFree, int64(blocks*BlockBytes), wr)
 	}
 	if write {
 		r.wrDataEnd = done

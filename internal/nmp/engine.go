@@ -5,6 +5,7 @@ import (
 
 	"nmppak/internal/dram"
 	"nmppak/internal/sim"
+	"nmppak/internal/telemetry"
 	"nmppak/internal/trace"
 )
 
@@ -62,6 +63,34 @@ func (e *Engine) Done() bool { return e.next >= len(e.tr.Iterations) }
 // Now returns the local end time of the last stepped iteration (0 before
 // the first step).
 func (e *Engine) Now() sim.Cycle { return e.clock }
+
+// SetKernelProbe attaches an event-loop probe to the engine's internal
+// event kernel (nil detaches; disabled costs one branch per event).
+func (e *Engine) SetKernelProbe(p *sim.Probe) { e.kernel.SetProbe(p) }
+
+// SetDRAMProbes attaches one data-bus occupancy track per DRAM channel
+// (tracks[i] to channel i; a short or nil slice leaves the rest
+// unprobed). Spans land on the engine's local clock; drivers re-base them
+// with Track.ShiftTail after each step.
+func (e *Engine) SetDRAMProbes(tracks []*telemetry.Track) {
+	for i, ch := range e.channels {
+		if i < len(tracks) {
+			ch.SetProbe(tracks[i])
+		} else {
+			ch.SetProbe(nil)
+		}
+	}
+}
+
+// AppendBusBusy appends each channel's cumulative data-bus busy cycles to
+// dst (drivers diff successive calls to attribute DRAM-bound time to one
+// iteration).
+func (e *Engine) AppendBusBusy(dst []int64) []int64 {
+	for _, ch := range e.channels {
+		dst = append(dst, ch.Stats.BusBusyCycles)
+	}
+	return dst
+}
 
 // NextStart returns the earliest local time the next iteration may begin:
 // the end of the previous one plus the runtime's lockstep sync barrier

@@ -6,6 +6,8 @@ package report
 import (
 	"fmt"
 	"strings"
+
+	"nmppak/internal/telemetry"
 )
 
 // Table is a simple aligned text table.
@@ -110,6 +112,78 @@ func Ratio(base, value float64) string {
 		return "-"
 	}
 	return fmt.Sprintf("%.2fx", base/value)
+}
+
+// Utilization renders a telemetry aggregate as tables: the run-level
+// comm/compute summary, the per-node busy/idle/stall breakdown, and the
+// per-link occupancy with peak backlog (hot links sort themselves out by
+// the util column).
+func Utilization(u *telemetry.Utilization) string {
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("utilization: %d cycles total, comm %s (%d cycles), runtime compute %d cycles\n\n",
+		u.Total, Percent(u.CommFraction), u.CommCycles, u.ComputeCycles))
+
+	if len(u.Nodes) > 0 {
+		nt := &Table{Title: "per-node breakdown", Headers: []string{"node", "iters", "busy", "idle", "stall", "busy%", "dram_busy"}}
+		for _, n := range u.Nodes {
+			span := n.Busy + n.Idle + n.Stall
+			frac := 0.0
+			if span > 0 {
+				frac = float64(n.Busy) / float64(span)
+			}
+			nt.AddRow(n.Node, n.Iters, n.Busy, n.Idle, n.Stall, Percent(frac), n.DRAMBusy)
+		}
+		sb.WriteString(nt.String())
+		sb.WriteString("\n")
+	}
+	if len(u.Links) > 0 {
+		lt := &Table{Title: "per-link occupancy", Headers: []string{"link", "msgs", "bytes", "busy", "util", "peak_backlog"}}
+		for _, l := range u.Links {
+			lt.AddRow(l.Name, l.Messages, l.Bytes, l.Busy, Percent(l.Utilization), l.PeakBacklog)
+		}
+		sb.WriteString(lt.String())
+		sb.WriteString("\n")
+	}
+	if len(u.DRAM) > 0 {
+		dt := &Table{Title: "dram channel buses", Headers: []string{"channel", "busy", "bytes"}}
+		for _, d := range u.DRAM {
+			dt.AddRow(d.Track, d.Busy, d.Bytes)
+		}
+		sb.WriteString(dt.String())
+		sb.WriteString("\n")
+	}
+	if len(u.Counters) > 0 {
+		ct := &Table{Title: "counters", Headers: []string{"name", "value"}}
+		for _, c := range u.Counters {
+			ct.AddRow(c.Name, c.Value)
+		}
+		sb.WriteString(ct.String())
+	}
+	return sb.String()
+}
+
+// CriticalPath renders a critical-path attribution: one row per
+// iteration on the path, naming the node whose compute lay on it and the
+// wait that preceded it.
+func CriticalPath(entries []telemetry.CPEntry) string {
+	if len(entries) == 0 {
+		return "critical path: no iteration spans recorded\n"
+	}
+	t := &Table{Title: "critical path (bounding resource per iteration)",
+		Headers: []string{"iter", "node", "compute", "wait", "bound", "src"}}
+	var compute, wait int64
+	for _, e := range entries {
+		src := "-"
+		if e.Src >= 0 {
+			src = fmt.Sprintf("node%d", e.Src)
+		}
+		t.AddRow(e.Iter, e.Node, e.Compute, e.Wait, e.Bound.String(), src)
+		compute += e.Compute
+		wait += e.Wait
+	}
+	s := t.String()
+	return s + fmt.Sprintf("path: %d compute + %d wait cycles over %d iterations\n",
+		compute, wait, len(entries))
 }
 
 // Scaling renders a scaling study as a table: one row per node count with

@@ -49,6 +49,7 @@ import (
 	"nmppak/internal/nmp"
 	"nmppak/internal/readsim"
 	"nmppak/internal/sim"
+	"nmppak/internal/telemetry"
 	"nmppak/internal/topo"
 	"nmppak/internal/trace"
 )
@@ -145,7 +146,16 @@ func Checkpoint(reads []readsim.Read, tr *trace.Trace, cfg Config, beforeIter in
 	if beforeIter < 0 || beforeIter > iters {
 		return nil, fmt.Errorf("scaleout: checkpoint iteration %d outside [0, %d]", beforeIter, iters)
 	}
-	res, err := runPrelude(reads, cfg, net)
+	// A capture can be instrumented too: the BSP disciplines record the
+	// executed iteration range plus a checkpoint marker at the pause point
+	// (the overlapped capture has no global schedule of its own — its
+	// restore replays the whole macro-schedule — so it records only the
+	// software phases and the marker).
+	var pr *probes
+	if cfg.Telemetry != nil {
+		pr = newProbes(cfg.Telemetry, net, cfg)
+	}
+	res, err := runPrelude(reads, cfg, net, pr)
 	if err != nil {
 		return nil, err
 	}
@@ -172,11 +182,13 @@ func Checkpoint(reads []readsim.Read, tr *trace.Trace, cfg Config, beforeIter in
 	// sums its restore resumes from; an overlapped capture skips them
 	// (its restore replays the macro-schedule from the recorded durations
 	// and never reads them).
+	var ckCompute, ckExchange sim.Cycle
 	if rp, ok := cfg.Partitioner.(*RebalancePartitioner); ok {
 		rr, err := newRebalanceRun(tr, net, cfg, rp)
 		if err != nil {
 			return nil, err
 		}
+		rr.setProbes(pr)
 		rr.advance(0, beforeIter)
 		ck.Compute, ck.Exchange = rr.compute, rr.exchange
 		ck.CompactExchangedBytes = rr.out.ExchangedBytes
@@ -194,6 +206,7 @@ func Checkpoint(reads []readsim.Read, tr *trace.Trace, cfg Config, beforeIter in
 		if err := snapshotInto(ck, rr.out.Durations, rr.engines); err != nil {
 			return nil, err
 		}
+		ckCompute, ckExchange = rr.compute, rr.exchange
 	} else {
 		st := ShardTrace(tr, cfg.Nodes, cfg.Partitioner)
 		rt, err := newRuntime(st, net, cfg)
@@ -203,6 +216,7 @@ func Checkpoint(reads []readsim.Read, tr *trace.Trace, cfg Config, beforeIter in
 		if cfg.Overlap {
 			rt.stepAdvance(0, beforeIter)
 		} else {
+			rt.setProbes(pr)
 			rt.bspAdvance(0, beforeIter)
 		}
 		ck.Compute, ck.Exchange = rt.compute, rt.exchange
@@ -210,6 +224,16 @@ func Checkpoint(reads []readsim.Read, tr *trace.Trace, cfg Config, beforeIter in
 		if err := snapshotInto(ck, rt.durations, rt.engines); err != nil {
 			return nil, err
 		}
+		ckCompute, ckExchange = rt.compute, rt.exchange
+	}
+	if pr != nil {
+		at := pr.base
+		if !cfg.Overlap {
+			at = pr.bspStart(ckCompute, ckExchange, beforeIter, iters,
+				net.BarrierCycles(), cfg.NMP.SyncBarrierCycles)
+		}
+		pr.phases.Add(telemetry.SpanCheckpoint, at, at, int64(beforeIter), 0)
+		pr.seal()
 	}
 	return ck.Marshal()
 }
@@ -257,12 +281,23 @@ func Restore(tr *trace.Trace, cfg Config, blob []byte) (*Result, error) {
 		PerNode:        append([]NodeStats(nil), ck.PerNode...),
 		ExchangedBytes: ck.PreludeExchangedBytes,
 	}
+	// An instrumented restore records the software phases from the blob's
+	// timing and the live compaction range: the BSP disciplines re-enter
+	// the global timeline at the checkpointed partial sums, the overlapped
+	// discipline replays its whole macro-schedule (so even the pre-pause
+	// iterations get spans, with recorded durations standing in).
+	var pr *probes
+	if cfg.Telemetry != nil {
+		pr = newProbes(cfg.Telemetry, net, cfg)
+		pr.prelude(res)
+	}
 	var co *compactOutcome
 	if rp, ok := cfg.Partitioner.(*RebalancePartitioner); ok {
 		rr, err := resumeRebalanceRun(tr, net, cfg, rp, ck)
 		if err != nil {
 			return nil, err
 		}
+		rr.setProbes(pr)
 		rr.advance(ck.ResumeIter, rr.iters)
 		ro := rr.finish()
 		co = &ro.compactOutcome
@@ -278,9 +313,13 @@ func Restore(tr *trace.Trace, cfg Config, blob []byte) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		rt.setProbes(pr)
 		co = rt.run()
 	}
 	finalize(res, co)
+	if pr != nil {
+		pr.seal()
+	}
 	return res, nil
 }
 

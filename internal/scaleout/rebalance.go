@@ -20,6 +20,7 @@ import (
 	"nmppak/internal/nmp"
 	"nmppak/internal/par"
 	"nmppak/internal/sim"
+	"nmppak/internal/telemetry"
 	"nmppak/internal/topo"
 	"nmppak/internal/trace"
 )
@@ -221,6 +222,17 @@ type rebalanceRun struct {
 	prev    []uint16    // scratch: ownership before the last migration
 
 	compute, exchange sim.Cycle
+
+	// pr is the run's telemetry glue; nil disables every recording site.
+	pr *probes
+}
+
+// setProbes attaches (or, with nil, skips) the run's telemetry glue.
+func (rr *rebalanceRun) setProbes(pr *probes) {
+	rr.pr = pr
+	if pr != nil {
+		pr.attach(rr.engines)
+	}
 }
 
 // newRebalanceRun prepares a fresh dynamic-ownership run: static initial
@@ -282,6 +294,13 @@ func newRebalanceState(tr *trace.Trace, net topo.Network, cfg Config, p *Rebalan
 // state the next migration decision reads.
 func (rr *rebalanceRun) advance(from, to int) {
 	n, out, p := rr.n, rr.out, rr.p
+	pr := rr.pr
+	lb := rr.net.BarrierCycles()
+	sb := rr.cfg.NMP.SyncBarrierCycles
+	var gnow sim.Cycle
+	if pr != nil {
+		gnow = pr.bspStart(rr.compute, rr.exchange, from, rr.iters, lb, sb)
+	}
 	for it := from; it < to; it++ {
 		iter := &rr.tr.Iterations[it]
 
@@ -306,11 +325,20 @@ func (rr *rebalanceRun) advance(from, to int) {
 						move[rr.prev[b]][rr.table[b]] += int64(nd.D1 + nd.D2)
 					}
 				}
-				if mx := topo.Exchange(rr.net, move); mx.TotalBytes > 0 {
+				var mx topo.ExchangeStats
+				if pr != nil {
+					mx = topo.ExchangeProbed(rr.net, move, pr.linkAt(gnow))
+				} else {
+					mx = topo.Exchange(rr.net, move)
+				}
+				if mx.TotalBytes > 0 {
 					rr.exchange += mx.Cycles
 					out.ExchangedBytes += mx.TotalBytes
 					out.MigratedBytes += mx.TotalBytes
 					out.Rebalances++
+					if pr != nil {
+						gnow = pr.stall(telemetry.SpanMigration, it, gnow, mx.Cycles, mx.TotalBytes)
+					}
 				}
 			}
 		}
@@ -329,21 +357,38 @@ func (rr *rebalanceRun) advance(from, to int) {
 
 		par.ForIdx(n, rr.cfg.Workers, func(i int) {
 			e := rr.engines[i]
+			if pr != nil {
+				pr.beforeStep(i, e)
+			}
 			ti := e.StepIteration(e.NextStart())
 			out.Durations[i][it] = ti.End - ti.Start
+			if pr != nil {
+				pr.afterStep(i, e, ti)
+			}
 		})
 		var slowest sim.Cycle
+		maxIdx := 0
 		for i := 0; i < n; i++ {
 			rr.lastDur[i] = out.Durations[i][it]
 			rr.cum[i] += rr.lastDur[i]
 			if rr.lastDur[i] > slowest {
 				slowest = rr.lastDur[i]
+				maxIdx = i
 			}
 		}
 		rr.compute += slowest
-		hx := topo.Exchange(rr.net, halo)
+		var hx topo.ExchangeStats
+		if pr != nil {
+			gnow = pr.superstepCompute(it, gnow, rr.lastDur, slowest)
+			hx = topo.ExchangeProbed(rr.net, halo, pr.linkAt(gnow))
+		} else {
+			hx = topo.Exchange(rr.net, halo)
+		}
 		rr.exchange += hx.Cycles
 		out.ExchangedBytes += hx.TotalBytes
+		if pr != nil {
+			gnow = pr.superstepComm(it, rr.iters, gnow, hx, lb, sb, maxIdx)
+		}
 
 		// Refresh the bucket weights that attribute this iteration's
 		// measured time for the next migration decision.
@@ -379,11 +424,12 @@ func (rr *rebalanceRun) finish() *rebalanceOutcome {
 // the bucket table re-fit between iterations from the measured per-node
 // busy times, and the moved MacroNodes charged over the network at their
 // traced sizes before the iteration that uses the new placement.
-func runRebalanced(tr *trace.Trace, net topo.Network, cfg Config, p *RebalancePartitioner) (*rebalanceOutcome, error) {
+func runRebalanced(tr *trace.Trace, net topo.Network, cfg Config, p *RebalancePartitioner, pr *probes) (*rebalanceOutcome, error) {
 	rr, err := newRebalanceRun(tr, net, cfg, p)
 	if err != nil {
 		return nil, err
 	}
+	rr.setProbes(pr)
 	rr.advance(0, rr.iters)
 	return rr.finish(), nil
 }

@@ -31,6 +31,7 @@ import (
 	"nmppak/internal/nmp"
 	"nmppak/internal/par"
 	"nmppak/internal/sim"
+	"nmppak/internal/telemetry"
 	"nmppak/internal/topo"
 )
 
@@ -65,6 +66,17 @@ type runtime struct {
 	compute        sim.Cycle
 	exchange       sim.Cycle
 	exchangedBytes int64
+
+	// pr is the run's telemetry glue; nil disables every recording site.
+	pr *probes
+}
+
+// setProbes attaches (or, with nil, skips) the run's telemetry glue.
+func (rt *runtime) setProbes(pr *probes) {
+	rt.pr = pr
+	if pr != nil {
+		pr.attach(rt.engines)
+	}
 }
 
 func newRuntime(st *ShardedTrace, net topo.Network, cfg Config) (*runtime, error) {
@@ -98,9 +110,15 @@ func newRuntime(st *ShardedTrace, net topo.Network, cfg Config) (*runtime, error
 func (rt *runtime) step(i int) sim.Cycle {
 	e := rt.engines[i]
 	it := e.Next()
+	if rt.pr != nil {
+		rt.pr.beforeStep(i, e)
+	}
 	ti := e.StepIteration(e.NextStart())
 	d := ti.End - ti.Start
 	rt.durations[i][it] = d
+	if rt.pr != nil {
+		rt.pr.afterStep(i, e, ti)
+	}
 	return d
 }
 
@@ -128,21 +146,39 @@ func (rt *runtime) run() *compactOutcome {
 // split at any iteration boundary — runBSP finishes the whole trace, the
 // checkpoint capture stops mid-way and snapshots.
 func (rt *runtime) bspAdvance(from, to int) {
+	pr := rt.pr
+	lb := rt.net.BarrierCycles()
+	sb := rt.cfg.NMP.SyncBarrierCycles
+	var gnow sim.Cycle
+	if pr != nil {
+		gnow = pr.bspStart(rt.compute, rt.exchange, from, rt.iters, lb, sb)
+	}
 	for it := from; it < to; it++ {
 		slowest := make([]sim.Cycle, rt.n)
 		par.ForIdx(rt.n, rt.cfg.Workers, func(i int) {
 			slowest[i] = rt.step(i)
 		})
 		var max sim.Cycle
-		for _, d := range slowest {
+		maxIdx := 0
+		for i, d := range slowest {
 			if d > max {
 				max = d
+				maxIdx = i
 			}
 		}
 		rt.compute += max
-		hx := topo.Exchange(rt.net, rt.st.Halo[it])
+		var hx topo.ExchangeStats
+		if pr != nil {
+			gnow = pr.superstepCompute(it, gnow, slowest, max)
+			hx = topo.ExchangeProbed(rt.net, rt.st.Halo[it], pr.linkAt(gnow))
+		} else {
+			hx = topo.Exchange(rt.net, rt.st.Halo[it])
+		}
 		rt.exchange += hx.Cycles
 		rt.exchangedBytes += hx.TotalBytes
+		if pr != nil {
+			gnow = pr.superstepComm(it, rt.iters, gnow, hx, lb, sb, maxIdx)
+		}
 	}
 }
 
@@ -212,7 +248,15 @@ func (rt *runtime) runOverlapped() *compactOutcome {
 	if iters == 0 {
 		return out
 	}
+	pr := rt.pr
+	sb := rt.cfg.NMP.SyncBarrierCycles
+	// lastEnd[i] is node i's last iteration end on the compaction-phase
+	// clock (global minus pr.base), for the gap spans between iterations.
+	lastEnd := make([]sim.Cycle, n)
 	g := &sim.Engine{}
+	if pr != nil {
+		g.SetProbe(&pr.loop)
+	}
 	nodes := make([]*ovNode, n)
 	for i := range nodes {
 		nodes[i] = &ovNode{
@@ -232,6 +276,9 @@ func (rt *runtime) runOverlapped() *compactOutcome {
 		}
 	}
 	fl := topo.NewFlight(rt.net, g)
+	if pr != nil {
+		fl.SetProbe(&topo.Probe{Links: pr.links, Offset: pr.base})
+	}
 	var makespan sim.Cycle
 	note := func(t sim.Cycle) {
 		if t > makespan {
@@ -242,16 +289,31 @@ func (rt *runtime) runOverlapped() *compactOutcome {
 	var begin func(i, it int, at sim.Cycle)
 	// tryStart launches node i's iteration it once both its compute-side
 	// and delivery-side dependencies have resolved; the triggering event
-	// supplies the later of the two times.
-	tryStart := func(i, it int) {
+	// supplies the later of the two times. src is the halo sender when a
+	// delivery triggered the call, -1 when the node's own finish did.
+	tryStart := func(i, it, src int) {
 		nd := nodes[i]
 		if it >= iters || nd.started[it] || !nd.finished[it-1] || nd.pendingIn[it-1] > 0 {
 			return
 		}
 		nd.started[it] = true
 		at := nd.readyAt
+		bound := telemetry.BoundSync
 		if now := g.Now(); now > at {
 			at = now
+			if src >= 0 {
+				// The last constraint to resolve was a halo delivery that
+				// landed after the node's own compute-side readiness: the
+				// interconnect bounded this iteration.
+				bound = telemetry.BoundDelivery
+			}
+		}
+		if pr != nil {
+			s := src
+			if bound != telemetry.BoundDelivery {
+				s = -1
+			}
+			pr.c.AddDep(i, it, bound, s)
 		}
 		begin(i, it, at)
 	}
@@ -275,16 +337,28 @@ func (rt *runtime) runOverlapped() *compactOutcome {
 			fl.Send(i, d, b, func() {
 				note(g.Now())
 				nodes[d].pendingIn[it]--
-				tryStart(d, it+1)
+				tryStart(d, it+1, i)
 			})
 		}
 		if it+1 < iters {
-			nd.readyAt = now + rt.cfg.NMP.SyncBarrierCycles
-			tryStart(i, it+1)
+			nd.readyAt = now + sb
+			tryStart(i, it+1, -1)
 		}
 	}
 	begin = func(i, it int, at sim.Cycle) {
 		g.At(at, func() {
+			// The gap since the node's previous iteration decomposes into
+			// the sync barrier and, past it, the halo-delivery wait (the
+			// start is never earlier than readyAt = previous end + sb).
+			if pr != nil && it > 0 {
+				e0 := lastEnd[i]
+				if sb > 0 {
+					pr.node[i].Add(telemetry.SpanSyncBarrier, pr.base+e0, pr.base+e0+sb, int64(it), 0)
+				}
+				if at > e0+sb {
+					pr.node[i].Add(telemetry.SpanDeliveryWait, pr.base+e0+sb, pr.base+at, int64(it), 0)
+				}
+			}
 			// A restored run replays the recorded duration of an already-
 			// executed iteration instead of re-stepping the engine: the
 			// global schedule is a deterministic function of (durations,
@@ -294,9 +368,16 @@ func (rt *runtime) runOverlapped() *compactOutcome {
 			var d sim.Cycle
 			if it < rt.start {
 				d = rt.durations[i][it]
+				if pr != nil {
+					pr.placeReplayed(i, it, pr.base+at, d)
+				}
 			} else {
 				d = rt.step(i)
+				if pr != nil {
+					pr.placeIter(i, it, pr.base+at)
+				}
 			}
+			lastEnd[i] = at + d
 			g.After(d, func() { finish(i, it) })
 		})
 	}
@@ -312,6 +393,19 @@ func (rt *runtime) runOverlapped() *compactOutcome {
 	for _, e := range rt.engines {
 		if e.Now() > compute {
 			compute = e.Now()
+		}
+	}
+	if pr != nil {
+		for i := 0; i < n; i++ {
+			if lastEnd[i] < makespan {
+				pr.node[i].Add(telemetry.SpanIdle, pr.base+lastEnd[i], pr.base+makespan, int64(iters-1), 0)
+			}
+		}
+		if compute > 0 {
+			pr.phases.Add(telemetry.SpanCompute, pr.base, pr.base+compute, -1, 0)
+		}
+		if makespan > compute {
+			pr.phases.Add(telemetry.SpanExchangeWait, pr.base+compute, pr.base+makespan, -1, out.ExchangedBytes)
 		}
 	}
 	out.Phase = PhaseCycles{Compute: compute, Exchange: makespan - compute, Barrier: 0}

@@ -39,6 +39,7 @@ import (
 	"nmppak/internal/nmp"
 	"nmppak/internal/readsim"
 	"nmppak/internal/sim"
+	"nmppak/internal/telemetry"
 	"nmppak/internal/topo"
 	"nmppak/internal/trace"
 )
@@ -89,6 +90,14 @@ type Config struct {
 	// copy.
 	NMP      nmp.Config
 	Software SoftwareModel
+	// Telemetry, when non-nil, collects the run's cycle-domain timeline —
+	// per-node iteration/idle/stall spans, link occupancy windows, DRAM
+	// bus windows and the runtime phase schedule (see internal/telemetry).
+	// nil (the default) disables collection entirely: the simulated result
+	// is cycle-exact and the hot paths allocation-identical with an
+	// uninstrumented run. Like Workers, it does not affect checkpoint
+	// identity. Pass a fresh (or Reset) collector per run.
+	Telemetry *telemetry.Collector
 }
 
 // DefaultConfig returns an n-node system of paper-default NMP nodes
@@ -222,7 +231,11 @@ func Simulate(reads []readsim.Read, tr *trace.Trace, cfg Config) (*Result, error
 	if err != nil {
 		return nil, err
 	}
-	res, err := runPrelude(reads, cfg, net)
+	var pr *probes
+	if cfg.Telemetry != nil {
+		pr = newProbes(cfg.Telemetry, net, cfg)
+	}
+	res, err := runPrelude(reads, cfg, net, pr)
 	if err != nil {
 		return nil, err
 	}
@@ -234,7 +247,7 @@ func Simulate(reads []readsim.Read, tr *trace.Trace, cfg Config) (*Result, error
 	// (rebalance.go), which re-shards between iterations.
 	var co *compactOutcome
 	if rp, ok := cfg.Partitioner.(*RebalancePartitioner); ok {
-		ro, err := runRebalanced(tr, net, cfg, rp)
+		ro, err := runRebalanced(tr, net, cfg, rp, pr)
 		if err != nil {
 			return nil, err
 		}
@@ -251,9 +264,13 @@ func Simulate(reads []readsim.Read, tr *trace.Trace, cfg Config) (*Result, error
 		if err != nil {
 			return nil, err
 		}
+		rt.setProbes(pr)
 		co = rt.run()
 	}
 	finalize(res, co)
+	if pr != nil {
+		pr.seal()
+	}
 	return res, nil
 }
 
@@ -276,8 +293,9 @@ func validateRun(tr *trace.Trace, cfg Config) (topo.Network, error) {
 // (phase 1) and MacroNode construction (phase 2) — and returns a Result
 // with those phases and the per-node software statistics filled in. The
 // checkpoint layer snapshots exactly these fields, so a restored run can
-// skip the software phases entirely.
-func runPrelude(reads []readsim.Read, cfg Config, net topo.Network) (*Result, error) {
+// skip the software phases entirely. A non-nil pr records the phase spans
+// and the exchanges' link occupancy on the run's timeline.
+func runPrelude(reads []readsim.Read, cfg Config, net topo.Network, pr *probes) (*Result, error) {
 	n := cfg.Nodes
 	sw := cfg.Software
 	res := &Result{
@@ -305,7 +323,12 @@ func runPrelude(reads []readsim.Read, cfg Config, net topo.Network) (*Result, er
 		res.PerNode[i].KmersExtracted = e
 		res.PerNode[i].KmersOwned = len(sc.Shards[i].Kmers)
 	}
-	cx := topo.Exchange(net, sc.CountExchange)
+	var cx topo.ExchangeStats
+	if pr != nil {
+		cx = topo.ExchangeProbed(net, sc.CountExchange, pr.linkAt(extract+merge))
+	} else {
+		cx = topo.Exchange(net, sc.CountExchange)
+	}
 	res.Count = PhaseCycles{Compute: extract + merge, Exchange: cx.Cycles, Barrier: net.BarrierCycles()}
 	res.ExchangedBytes += cx.TotalBytes
 
@@ -322,9 +345,17 @@ func runPrelude(reads []readsim.Read, cfg Config, net topo.Network) (*Result, er
 		}
 		res.PerNode[i].MacroNodes = sg.Graphs[i].Len()
 	}
-	gx := topo.Exchange(net, sg.GraphExchange)
+	var gx topo.ExchangeStats
+	if pr != nil {
+		gx = topo.ExchangeProbed(net, sg.GraphExchange, pr.linkAt(res.Count.Total()+construct))
+	} else {
+		gx = topo.Exchange(net, sg.GraphExchange)
+	}
 	res.Construct = PhaseCycles{Compute: construct, Exchange: gx.Cycles, Barrier: net.BarrierCycles()}
 	res.ExchangedBytes += gx.TotalBytes
+	if pr != nil {
+		pr.prelude(res)
+	}
 	return res, nil
 }
 

@@ -1,0 +1,234 @@
+// Telemetry glue for the distributed runtime: one probes value per
+// instrumented run owns the track layout (runtime phase schedule, one
+// track per node engine, per DRAM channel, per topology link), the
+// engine/link/DRAM probe attachments, and the local-to-global re-basing
+// that pins spans recorded on a node's back-to-back clock onto the run's
+// shared timeline.
+//
+// Concurrency contract: beforeStep/afterStep run on the worker goroutine
+// that owns node i and touch only node-i scratch and node-i DRAM tracks
+// (each track is single-writer); every other method runs on the
+// single-threaded scheduling path, after the workers have joined. A nil
+// *probes disables everything — the recording sites in runtime.go and
+// rebalance.go are nil-guarded, so a telemetry-free run takes one branch
+// per site and allocates nothing.
+package scaleout
+
+import (
+	"fmt"
+
+	"nmppak/internal/nmp"
+	"nmppak/internal/sim"
+	"nmppak/internal/telemetry"
+	"nmppak/internal/topo"
+)
+
+// stepScratch is the per-node bracket state around one engine step.
+type stepScratch struct {
+	dramFrom   []int // per-channel track length before the step
+	busPrev    []int64
+	busCur     []int64
+	start, end sim.Cycle // the step's local-clock window
+	busDelta   int64     // DRAM bus cycles the step consumed
+}
+
+type probes struct {
+	c      *telemetry.Collector
+	phases *telemetry.Track     // the runtime's phase schedule
+	node   []*telemetry.Track   // per node engine
+	dram   [][]*telemetry.Track // [node][channel]
+	links  []*telemetry.Track   // per dense link ID
+
+	kern []sim.Probe // per-node engine event-kernel counters
+	loop sim.Probe   // the overlapped discipline's global event loop
+
+	// base is the compaction phase's global start (the software phases
+	// end there); set by prelude.
+	base sim.Cycle
+
+	lp      topo.Probe // reusable link-probe header for serial exchanges
+	scratch []stepScratch
+}
+
+// newProbes lays out every track of the run up front, in a fixed order
+// (the export order), before any parallel section.
+func newProbes(c *telemetry.Collector, net topo.Network, cfg Config) *probes {
+	n := cfg.Nodes
+	chs := cfg.NMP.Channels
+	pr := &probes{c: c}
+	pr.phases = c.NewTrack(telemetry.TrackRuntime, 0, "phases")
+	pr.node = make([]*telemetry.Track, n)
+	for i := 0; i < n; i++ {
+		pr.node[i] = c.NewTrack(telemetry.TrackNode, i, fmt.Sprintf("node%d", i))
+	}
+	pr.dram = make([][]*telemetry.Track, n)
+	for i := 0; i < n; i++ {
+		pr.dram[i] = make([]*telemetry.Track, chs)
+		for ch := 0; ch < chs; ch++ {
+			pr.dram[i][ch] = c.NewTrack(telemetry.TrackDRAM, i*chs+ch, fmt.Sprintf("node%d/ch%d", i, ch))
+		}
+	}
+	pr.links = make([]*telemetry.Track, net.NumLinks())
+	for l := range pr.links {
+		pr.links[l] = c.NewTrack(telemetry.TrackLink, l, fmt.Sprintf("%s/link%d", net.Name(), l))
+	}
+	pr.kern = make([]sim.Probe, n)
+	pr.scratch = make([]stepScratch, n)
+	pr.lp.Links = pr.links
+	return pr
+}
+
+// attach hooks the per-node engines: DRAM channel tracks and event-kernel
+// counters.
+func (pr *probes) attach(engines []*nmp.Engine) {
+	for i, e := range engines {
+		e.SetKernelProbe(&pr.kern[i])
+		e.SetDRAMProbes(pr.dram[i])
+	}
+}
+
+// linkAt returns the link probe positioned at global time off, for a
+// serial exchange about to run on its own local engine.
+func (pr *probes) linkAt(off sim.Cycle) *topo.Probe {
+	pr.lp.Offset = off
+	return &pr.lp
+}
+
+// phaseSpans renders one software phase at global time t on the runtime
+// track (compute, then exchange, then the interconnect barrier — the
+// order finalize sums them in) and returns the phase end.
+func (pr *probes) phaseSpans(p PhaseCycles, t sim.Cycle) sim.Cycle {
+	if p.Compute > 0 {
+		pr.phases.Add(telemetry.SpanCompute, t, t+p.Compute, -1, 0)
+		t += p.Compute
+	}
+	if p.Exchange > 0 {
+		pr.phases.Add(telemetry.SpanExchangeWait, t, t+p.Exchange, -1, 0)
+		t += p.Exchange
+	}
+	if p.Barrier > 0 {
+		pr.phases.Add(telemetry.SpanLinkBarrier, t, t+p.Barrier, -1, 0)
+		t += p.Barrier
+	}
+	return t
+}
+
+// prelude records the software phases (counting, construction) and
+// anchors the compaction phase's global start.
+func (pr *probes) prelude(res *Result) {
+	t := pr.phaseSpans(res.Count, 0)
+	pr.base = pr.phaseSpans(res.Construct, t)
+}
+
+// beforeStep and afterStep bracket one engine step; both run on the
+// worker goroutine that owns node i.
+func (pr *probes) beforeStep(i int, e *nmp.Engine) {
+	s := &pr.scratch[i]
+	s.dramFrom = s.dramFrom[:0]
+	for _, t := range pr.dram[i] {
+		s.dramFrom = append(s.dramFrom, t.Len())
+	}
+	s.busPrev = e.AppendBusBusy(s.busPrev[:0])
+}
+
+func (pr *probes) afterStep(i int, e *nmp.Engine, ti nmp.IterTiming) {
+	s := &pr.scratch[i]
+	s.busCur = e.AppendBusBusy(s.busCur[:0])
+	s.busDelta = 0
+	for c := range s.busCur {
+		s.busDelta += s.busCur[c] - s.busPrev[c]
+	}
+	s.start, s.end = ti.Start, ti.End
+}
+
+// placeIter pins node i's just-stepped iteration onto the global timeline
+// at gs: the iteration span lands on the node track (Arg2 = the step's
+// DRAM bus cycles) and the step's DRAM spans are re-based from the
+// engine's local clock. Runs after the step's worker has joined.
+func (pr *probes) placeIter(i, it int, gs sim.Cycle) {
+	s := &pr.scratch[i]
+	delta := gs - s.start
+	for c, t := range pr.dram[i] {
+		t.ShiftTail(s.dramFrom[c], delta)
+	}
+	pr.node[i].Add(telemetry.SpanIter, gs, gs+(s.end-s.start), int64(it), s.busDelta)
+}
+
+// placeReplayed records an iteration whose engine step happened before a
+// checkpoint: the overlapped restore replays its recorded duration, so
+// there is no DRAM attribution to re-base.
+func (pr *probes) placeReplayed(i, it int, gs, d sim.Cycle) {
+	pr.node[i].Add(telemetry.SpanIter, gs, gs+d, int64(it), 0)
+}
+
+// stall records one d-cycle whole-machine wait starting at gnow on the
+// runtime track and every node track, returning the new global time.
+func (pr *probes) stall(kind telemetry.SpanKind, it int, gnow, d sim.Cycle, bytes int64) sim.Cycle {
+	if d <= 0 {
+		return gnow
+	}
+	pr.phases.Add(kind, gnow, gnow+d, int64(it), bytes)
+	for i := range pr.node {
+		pr.node[i].Add(kind, gnow, gnow+d, int64(it), 0)
+	}
+	return gnow + d
+}
+
+// superstepCompute places every node's just-stepped iteration at gnow,
+// fills the stragglers' idle windows up to the slowest node, records the
+// phase compute segment and returns the new global time.
+func (pr *probes) superstepCompute(it int, gnow sim.Cycle, durs []sim.Cycle, max sim.Cycle) sim.Cycle {
+	for i := range pr.node {
+		pr.placeIter(i, it, gnow)
+		if durs[i] < max {
+			pr.node[i].Add(telemetry.SpanIdle, gnow+durs[i], gnow+max, int64(it), 0)
+		}
+	}
+	if max > 0 {
+		pr.phases.Add(telemetry.SpanCompute, gnow, gnow+max, int64(it), 0)
+	}
+	return gnow + max
+}
+
+// superstepComm records the iteration's halo exchange and, between
+// supersteps, the closing barrier pair plus the barrier dependency gating
+// every node's next iteration on the superstep's slowest node.
+func (pr *probes) superstepComm(it, iters int, gnow sim.Cycle, hx topo.ExchangeStats, lb, sb sim.Cycle, slowest int) sim.Cycle {
+	gnow = pr.stall(telemetry.SpanExchangeWait, it, gnow, hx.Cycles, hx.TotalBytes)
+	if it < iters-1 {
+		gnow = pr.stall(telemetry.SpanLinkBarrier, it, gnow, lb, 0)
+		gnow = pr.stall(telemetry.SpanSyncBarrier, it, gnow, sb, 0)
+		for i := range pr.node {
+			pr.c.AddDep(i, it+1, telemetry.BoundBarrier, slowest)
+		}
+	}
+	return gnow
+}
+
+// bspStart computes the compaction-phase global time after `executed`
+// supersteps, given the accumulated compute/exchange partial sums — the
+// re-entry point for runs split at an iteration boundary (checkpoints).
+func (pr *probes) bspStart(compute, exchange sim.Cycle, executed, iters int, lb, sb sim.Cycle) sim.Cycle {
+	if m := iters - 1; executed > m {
+		executed = m
+	}
+	return pr.base + compute + exchange + sim.Cycle(executed)*(lb+sb)
+}
+
+// seal records the end-of-run event-loop counters.
+func (pr *probes) seal() {
+	var ev int64
+	var maxPend int
+	for i := range pr.kern {
+		ev += pr.kern[i].Dispatched
+		if pr.kern[i].MaxPending > maxPend {
+			maxPend = pr.kern[i].MaxPending
+		}
+	}
+	pr.c.AddCounter("engine_events", ev)
+	pr.c.AddCounter("engine_max_pending", int64(maxPend))
+	if pr.loop.Dispatched > 0 {
+		pr.c.AddCounter("overlap_events", pr.loop.Dispatched)
+		pr.c.AddCounter("overlap_max_pending", int64(pr.loop.MaxPending))
+	}
+}

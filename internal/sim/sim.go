@@ -34,13 +34,27 @@ func lessEv(a, b *event) bool {
 	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
 }
 
+// Probe collects event-loop statistics when attached to an Engine. A nil
+// probe (the default) disables collection; the hot paths then pay one
+// predictable branch and zero allocations.
+type Probe struct {
+	// Dispatched counts events popped and executed by Run.
+	Dispatched int64
+	// MaxPending is the high-water mark of the event heap.
+	MaxPending int
+}
+
 // Engine is a single-threaded event scheduler. The zero value is ready to
 // use.
 type Engine struct {
 	now    Cycle
 	seq    int64
 	events []event // 4-ary min-heap ordered by lessEv
+	probe  *Probe
 }
+
+// SetProbe attaches (or, with nil, detaches) an event-loop probe.
+func (e *Engine) SetProbe(p *Probe) { e.probe = p }
 
 // Now returns the current simulation time.
 func (e *Engine) Now() Cycle { return e.now }
@@ -75,6 +89,9 @@ func (e *Engine) At(t Cycle, fn func()) {
 	e.seq++
 	e.events = append(e.events, event{at: t, seq: e.seq, fn: fn})
 	e.siftUp(len(e.events) - 1)
+	if e.probe != nil && len(e.events) > e.probe.MaxPending {
+		e.probe.MaxPending = len(e.events)
+	}
 }
 
 // After schedules fn d cycles from now.
@@ -85,6 +102,9 @@ func (e *Engine) Run() Cycle {
 	for len(e.events) > 0 {
 		at, fn := e.pop()
 		e.now = at
+		if e.probe != nil {
+			e.probe.Dispatched++
+		}
 		fn()
 	}
 	return e.now

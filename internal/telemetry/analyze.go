@@ -1,0 +1,234 @@
+// Aggregate accounting over a recorded span stream: per-node
+// busy/idle/stall breakdowns, per-link utilization and backlog, DRAM
+// channel busy time, the comm-vs-compute split (defined to reconcile
+// exactly with scaleout's CommFraction), and the critical-path pass that
+// attributes end-to-end cycles to the bounding resource per iteration.
+package telemetry
+
+import "nmppak/internal/sim"
+
+// NodeUtil is one node's time breakdown over the compaction phase.
+// Busy + Idle + Stall tiles the phase exactly (a conservation invariant
+// the scaleout tests pin).
+type NodeUtil struct {
+	Node  int
+	Busy  sim.Cycle // executing iterations
+	Idle  sim.Cycle // stragglers ahead / drained after the last iteration
+	Stall sim.Cycle // exchanges, barriers, halo-delivery waits, migrations
+	Iters int
+	// DRAMBusy is the node's summed per-channel data-bus busy cycles
+	// attributed by its iteration spans (DRAM-bound share of Busy).
+	DRAMBusy sim.Cycle
+}
+
+// LinkUtil is one link's occupancy aggregate.
+type LinkUtil struct {
+	Link     int
+	Name     string
+	Busy     sim.Cycle // summed reservation windows
+	Bytes    int64
+	Messages int
+	// PeakBacklog is the largest booked-ahead distance observed at
+	// reservation time (how far past "now" the link was already committed
+	// when a message asked for it) — the queue-depth signal in cycles.
+	PeakBacklog sim.Cycle
+	// Utilization is Busy over the full timeline horizon.
+	Utilization float64
+}
+
+// DRAMUtil is one DRAM channel data bus' occupancy aggregate.
+type DRAMUtil struct {
+	Track string
+	Busy  sim.Cycle
+	Bytes int64
+}
+
+// Utilization is the aggregate counter set derived from one collector.
+type Utilization struct {
+	// Total is the timeline horizon (== the run's TotalCycles when the
+	// runtime phase track was recorded).
+	Total sim.Cycle
+	// CommCycles / CommFraction reproduce scaleout's accounting exactly:
+	// exchange + link-barrier + migration spans on the runtime track over
+	// Total.
+	CommCycles   sim.Cycle
+	CommFraction float64
+	// ComputeCycles is the runtime track's compute time; the remainder of
+	// Total is sync barriers.
+	ComputeCycles sim.Cycle
+
+	Nodes []NodeUtil
+	Links []LinkUtil
+	DRAM  []DRAMUtil
+
+	Counters []Counter
+}
+
+// Analyze folds a collector's span stream into the aggregate counters.
+func Analyze(c *Collector) *Utilization {
+	u := &Utilization{Total: c.End(), Counters: c.Counters()}
+	for _, t := range c.tracks {
+		switch t.Kind {
+		case TrackRuntime:
+			for i := range t.Spans {
+				s := &t.Spans[i]
+				d := s.End - s.Start
+				if s.Kind.comm() {
+					u.CommCycles += d
+				}
+				if s.Kind == SpanCompute {
+					u.ComputeCycles += d
+				}
+			}
+		case TrackNode:
+			nu := NodeUtil{Node: t.ID}
+			for i := range t.Spans {
+				s := &t.Spans[i]
+				d := s.End - s.Start
+				switch s.Kind {
+				case SpanIter:
+					nu.Busy += d
+					nu.Iters++
+					nu.DRAMBusy += sim.Cycle(s.Arg2)
+				case SpanIdle:
+					nu.Idle += d
+				default:
+					nu.Stall += d
+				}
+			}
+			u.Nodes = append(u.Nodes, nu)
+		case TrackLink:
+			lu := LinkUtil{Link: t.ID, Name: t.Name}
+			for i := range t.Spans {
+				s := &t.Spans[i]
+				lu.Busy += s.End - s.Start
+				lu.Bytes += s.Arg1
+				lu.Messages++
+				if backlog := s.End - sim.Cycle(s.Arg2); backlog > lu.PeakBacklog {
+					lu.PeakBacklog = backlog
+				}
+			}
+			if u.Total > 0 {
+				lu.Utilization = float64(lu.Busy) / float64(u.Total)
+			}
+			u.Links = append(u.Links, lu)
+		case TrackDRAM:
+			du := DRAMUtil{Track: t.Name}
+			for i := range t.Spans {
+				s := &t.Spans[i]
+				du.Busy += s.End - s.Start
+				du.Bytes += s.Arg1
+			}
+			u.DRAM = append(u.DRAM, du)
+		}
+	}
+	if u.Total > 0 {
+		u.CommFraction = float64(u.CommCycles) / float64(u.Total)
+	}
+	return u
+}
+
+// CPEntry attributes one compaction iteration's share of the end-to-end
+// critical path: the node whose compute bounded it, and the wait (sync /
+// halo delivery / superstep barrier) that preceded it on the path.
+type CPEntry struct {
+	Iter    int
+	Node    int       // node whose compute lies on the path this iteration
+	Compute sim.Cycle // that node's compute cycles
+	Wait    sim.Cycle // path cycles spent waiting before the compute began
+	Bound   Bound     // what the wait was for (BoundNone for iteration 0)
+	// Src is the halo sender (BoundDelivery) or the slowest node of the
+	// previous superstep (BoundBarrier); -1 otherwise.
+	Src int
+}
+
+// CriticalPath walks the recorded dependency graph backwards from the
+// last-finishing node iteration and returns one entry per iteration on
+// the path (iteration order). The sum of Compute+Wait over the entries
+// plus the lead-in and trailing-delivery tail equals the compaction
+// phase's makespan, so the report is a complete attribution: it names,
+// per iteration, the resource that bounded the run — a straggler node's
+// compute, the sync barrier, a contended halo route, or the BSP
+// exchange+barrier boundary.
+func CriticalPath(c *Collector) []CPEntry {
+	// Index iteration spans by (node, iter) and find the grid shape.
+	nodes := 0
+	iters := 0
+	for _, t := range c.tracks {
+		if t.Kind != TrackNode {
+			continue
+		}
+		if t.ID+1 > nodes {
+			nodes = t.ID + 1
+		}
+		for i := range t.Spans {
+			if s := &t.Spans[i]; s.Kind == SpanIter && int(s.Arg1)+1 > iters {
+				iters = int(s.Arg1) + 1
+			}
+		}
+	}
+	if nodes == 0 || iters == 0 {
+		return nil
+	}
+	type cell struct {
+		start, end sim.Cycle
+		ok         bool
+	}
+	grid := make([]cell, nodes*iters)
+	for _, t := range c.tracks {
+		if t.Kind != TrackNode {
+			continue
+		}
+		for i := range t.Spans {
+			s := &t.Spans[i]
+			if s.Kind == SpanIter {
+				grid[t.ID*iters+int(s.Arg1)] = cell{start: s.Start, end: s.End, ok: true}
+			}
+		}
+	}
+	deps := make([]Dep, nodes*iters)
+	for i := range deps {
+		deps[i] = Dep{Bound: BoundNone, Src: -1}
+	}
+	for _, d := range c.deps {
+		if d.Node >= 0 && d.Node < nodes && d.Iter >= 0 && d.Iter < iters {
+			deps[d.Node*iters+d.Iter] = d
+		}
+	}
+	// The path ends at the node whose last iteration finishes latest
+	// (ties break on the lower node index for determinism).
+	last := -1
+	var lastEnd sim.Cycle
+	for n := 0; n < nodes; n++ {
+		if cl := grid[n*iters+iters-1]; cl.ok && (last == -1 || cl.end > lastEnd) {
+			last, lastEnd = n, cl.end
+		}
+	}
+	if last == -1 {
+		return nil
+	}
+	entries := make([]CPEntry, iters)
+	n := last
+	for it := iters - 1; it >= 0; it-- {
+		cl := grid[n*iters+it]
+		e := CPEntry{Iter: it, Node: n, Compute: cl.end - cl.start, Src: -1}
+		if it > 0 {
+			d := deps[n*iters+it]
+			pred := n
+			switch d.Bound {
+			case BoundDelivery, BoundBarrier:
+				if d.Src >= 0 {
+					pred = d.Src
+				}
+			}
+			e.Bound = d.Bound
+			e.Src = d.Src
+			if pcl := grid[pred*iters+it-1]; pcl.ok {
+				e.Wait = cl.start - pcl.end
+			}
+			n = pred
+		}
+		entries[it] = e
+	}
+	return entries
+}

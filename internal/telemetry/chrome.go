@@ -1,0 +1,78 @@
+// Chrome-trace (Perfetto-loadable) JSON export of a recorded span
+// stream: one trace-event process per track kind, one thread per track,
+// complete ("X") events for spans and instant ("i") events for markers.
+// Timestamps are emitted as raw cycle counts (1 cycle = 0.625 ns at
+// 1.6 GHz) so the output is integer-only and byte-identical across runs;
+// the unit is recorded in the trace metadata.
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"nmppak/internal/sim"
+)
+
+// chromePID maps a track kind to a stable trace-event process ID.
+func chromePID(k TrackKind) int { return int(k) + 1 }
+
+// WriteChrome writes the collector's tracks as Chrome trace-event JSON.
+// Output is deterministic: tracks in creation order, spans in append
+// order, integer timestamps only.
+func (c *Collector) WriteChrome(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"displayTimeUnit":"ns","otherData":{"clock":"1 ts = 1 cycle = 0.625 ns (1.6 GHz)"},"traceEvents":[`)
+	first := true
+	ev := func(s string, args ...any) {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		bw.WriteByte('\n')
+		fmt.Fprintf(bw, s, args...)
+	}
+	// Process/thread naming metadata: one process per kind present, one
+	// thread per track.
+	seen := [4]bool{}
+	for _, t := range c.tracks {
+		if !seen[t.Kind] {
+			seen[t.Kind] = true
+			ev(`{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":%q}}`,
+				chromePID(t.Kind), t.Kind.String())
+		}
+		ev(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%q}}`,
+			chromePID(t.Kind), t.ID+1, t.Name)
+		ev(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_sort_index","args":{"sort_index":%d}}`,
+			chromePID(t.Kind), t.ID+1, t.ID)
+	}
+	for _, t := range c.tracks {
+		pid, tid := chromePID(t.Kind), t.ID+1
+		for i := range t.Spans {
+			s := &t.Spans[i]
+			if s.Start == s.End {
+				ev(`{"ph":"i","s":"t","pid":%d,"tid":%d,"ts":%d,"name":%q,"args":{"arg1":%d,"arg2":%d}}`,
+					pid, tid, s.Start, s.Kind.String(), s.Arg1, s.Arg2)
+				continue
+			}
+			ev(`{"ph":"X","pid":%d,"tid":%d,"ts":%d,"dur":%d,"name":%q,"args":{"arg1":%d,"arg2":%d}}`,
+				pid, tid, s.Start, s.End-s.Start, s.Kind.String(), s.Arg1, s.Arg2)
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// End returns the latest span end across every track (the recorded
+// timeline's horizon).
+func (c *Collector) End() sim.Cycle {
+	var end sim.Cycle
+	for _, t := range c.tracks {
+		for i := range t.Spans {
+			if t.Spans[i].End > end {
+				end = t.Spans[i].End
+			}
+		}
+	}
+	return end
+}

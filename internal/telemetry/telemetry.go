@@ -1,0 +1,268 @@
+// Package telemetry is the cycle-domain instrumentation layer of the
+// simulator: a recorded stream of spans — time windows on named resource
+// tracks (node engines, interconnect links, DRAM channel data buses, the
+// runtime's phase schedule) — plus the dependency records that let a
+// critical-path pass explain where the end-to-end cycles went.
+//
+// The design contract is zero overhead when disabled: producers hold a
+// nil probe/track pointer on their hot paths and recording sites compile
+// to a single predictable branch, so a telemetry-disabled run is
+// cycle-exact and allocation-identical with the uninstrumented code (the
+// internal/sim and internal/kmer AllocsPerRun tests pin this).
+//
+// Collection is deterministic: every track is written by exactly one
+// goroutine at a time (per-node tracks by that node's engine step, link
+// and runtime tracks by the single-threaded event loop), tracks are
+// created in a fixed order before any parallel section, and the exporters
+// iterate in creation/append order with integer formatting only — the
+// same run always produces a byte-identical trace.
+package telemetry
+
+import "nmppak/internal/sim"
+
+// TrackKind classifies the resource a track models.
+type TrackKind uint8
+
+const (
+	// TrackRuntime is the runtime's phase schedule (one per run).
+	TrackRuntime TrackKind = iota
+	// TrackNode is one node's engine (compute/stall/idle windows).
+	TrackNode
+	// TrackLink is one interconnect link (occupancy reservations).
+	TrackLink
+	// TrackDRAM is one DRAM channel's data bus (burst-train windows).
+	TrackDRAM
+)
+
+// String names the kind (used as the Chrome-trace process name).
+func (k TrackKind) String() string {
+	switch k {
+	case TrackRuntime:
+		return "runtime"
+	case TrackNode:
+		return "nodes"
+	case TrackLink:
+		return "links"
+	case TrackDRAM:
+		return "dram"
+	}
+	return "unknown"
+}
+
+// SpanKind classifies one recorded time window. The Arg1/Arg2 meaning is
+// per kind (documented on each constant).
+type SpanKind uint8
+
+const (
+	// SpanIter is one node-engine compaction iteration.
+	// Arg1 = iteration index, Arg2 = DRAM data-bus busy cycles summed over
+	// the node's channels during the iteration.
+	SpanIter SpanKind = iota
+	// SpanIdle is time a node spends with nothing to do (waiting on
+	// stragglers, or drained after its last iteration). Arg1 = iteration.
+	SpanIdle
+	// SpanSyncBarrier is the NMP runtime's per-iteration lockstep sync
+	// (exists on a single node too, so it is not communication).
+	// Arg1 = iteration.
+	SpanSyncBarrier
+	// SpanLinkBarrier is the interconnect share of a barrier (the
+	// log-tree reduce/broadcast). Arg1 = iteration. Counted as comm.
+	SpanLinkBarrier
+	// SpanExchangeWait is a node (or the runtime) parked while a bulk
+	// all-to-all exchange runs. Arg1 = iteration (-1 for the software
+	// phases). Counted as comm.
+	SpanExchangeWait
+	// SpanDeliveryWait is overlapped-mode time a node waits for halo
+	// deliveries beyond its own compute-side readiness. Arg1 = iteration.
+	SpanDeliveryWait
+	// SpanCompute is a runtime-track compute segment (slowest-node
+	// compute of a phase or superstep). Arg1 = iteration (-1 software).
+	SpanCompute
+	// SpanMigration is a rebalance migration exchange (MacroNode bytes
+	// moving to new owners). Arg1 = iteration, Arg2 = bytes. Counted as
+	// comm.
+	SpanMigration
+	// SpanLink is one link occupancy reservation.
+	// Arg1 = message bytes, Arg2 = reservation time (the cycle the
+	// message asked for the link; End - Arg2 is the booked-ahead backlog).
+	SpanLink
+	// SpanBus is one DRAM burst train's data-bus reservation window.
+	// Arg1 = bytes moved, Arg2 = 1 for writes, 0 for reads.
+	SpanBus
+	// SpanCheckpoint is an instant marker: a checkpoint blob was captured
+	// at this point. Arg1 = resume iteration.
+	SpanCheckpoint
+)
+
+// String names the span kind (used as the Chrome-trace event name).
+func (k SpanKind) String() string {
+	switch k {
+	case SpanIter:
+		return "iter"
+	case SpanIdle:
+		return "idle"
+	case SpanSyncBarrier:
+		return "sync_barrier"
+	case SpanLinkBarrier:
+		return "link_barrier"
+	case SpanExchangeWait:
+		return "exchange"
+	case SpanDeliveryWait:
+		return "halo_wait"
+	case SpanCompute:
+		return "compute"
+	case SpanMigration:
+		return "migration"
+	case SpanLink:
+		return "flight"
+	case SpanBus:
+		return "bus"
+	case SpanCheckpoint:
+		return "checkpoint"
+	}
+	return "span"
+}
+
+// comm reports whether the kind counts as interconnect time in the
+// comm-fraction accounting (mirrors scaleout's CommCycles: exchanges,
+// link barriers and migrations; the NMP sync barrier stays out).
+func (k SpanKind) comm() bool {
+	return k == SpanExchangeWait || k == SpanLinkBarrier || k == SpanMigration
+}
+
+// Span is one recorded time window [Start, End) on a track.
+type Span struct {
+	Kind       SpanKind
+	Start, End sim.Cycle
+	Arg1, Arg2 int64
+}
+
+// Track is one resource's span stream. A track is single-writer: the
+// producer that owns the resource appends in simulation order. The zero
+// ID convention is kind-specific (node index, dense link ID, node *
+// channels + channel).
+type Track struct {
+	Kind  TrackKind
+	Name  string
+	ID    int
+	Spans []Span
+}
+
+// Add appends one span.
+func (t *Track) Add(kind SpanKind, start, end sim.Cycle, a1, a2 int64) {
+	t.Spans = append(t.Spans, Span{Kind: kind, Start: start, End: end, Arg1: a1, Arg2: a2})
+}
+
+// Len returns the number of recorded spans (used with ShiftTail to
+// re-base a batch recorded on a local clock).
+func (t *Track) Len() int { return len(t.Spans) }
+
+// ShiftTail adds delta to every span from index `from` on: the
+// local-to-global re-basing step for spans recorded on a node engine's
+// local clock during one iteration.
+func (t *Track) ShiftTail(from int, delta sim.Cycle) {
+	if delta == 0 {
+		return
+	}
+	for i := from; i < len(t.Spans); i++ {
+		t.Spans[i].Start += delta
+		t.Spans[i].End += delta
+	}
+}
+
+// Bound says which dependency gated the start of a node's iteration.
+type Bound uint8
+
+const (
+	// BoundNone: nothing gated it (iteration 0).
+	BoundNone Bound = iota
+	// BoundSync: the node's own previous iteration plus the sync barrier
+	// resolved last (compute-bound).
+	BoundSync
+	// BoundDelivery: a halo message delivery resolved last (the sender is
+	// Dep.Src) — the interconnect was the bounding resource.
+	BoundDelivery
+	// BoundBarrier: a BSP superstep boundary (exchange + barriers) gated
+	// it; Dep.Src is the slowest node of the previous superstep.
+	BoundBarrier
+)
+
+// String names the bound.
+func (b Bound) String() string {
+	switch b {
+	case BoundNone:
+		return "start"
+	case BoundSync:
+		return "compute"
+	case BoundDelivery:
+		return "halo"
+	case BoundBarrier:
+		return "barrier"
+	}
+	return "bound"
+}
+
+// Dep records why node Node's iteration Iter started when it did: the
+// dependency that resolved last, and who satisfied it.
+type Dep struct {
+	Node, Iter int
+	Bound      Bound
+	// Src is the sender node for BoundDelivery and the slowest node of
+	// the previous superstep for BoundBarrier; -1 otherwise.
+	Src int
+}
+
+// Counter is one named scalar recorded at the end of a run (event-loop
+// statistics and similar aggregates that are not time windows).
+type Counter struct {
+	Name  string
+	Value int64
+}
+
+// Collector accumulates one run's telemetry: tracks, dependency records
+// and counters. It is not safe for concurrent track creation — create
+// every track up front, before any parallel section; appending to
+// distinct tracks from distinct goroutines is safe (each track is
+// single-writer).
+type Collector struct {
+	tracks   []*Track
+	deps     []Dep
+	counters []Counter
+}
+
+// New returns an empty collector.
+func New() *Collector { return &Collector{} }
+
+// NewTrack registers a track. Creation order is the export order, so it
+// must be deterministic.
+func (c *Collector) NewTrack(kind TrackKind, id int, name string) *Track {
+	t := &Track{Kind: kind, ID: id, Name: name}
+	c.tracks = append(c.tracks, t)
+	return t
+}
+
+// Tracks returns every registered track in creation order.
+func (c *Collector) Tracks() []*Track { return c.tracks }
+
+// AddDep records one iteration-start dependency.
+func (c *Collector) AddDep(node, iter int, bound Bound, src int) {
+	c.deps = append(c.deps, Dep{Node: node, Iter: iter, Bound: bound, Src: src})
+}
+
+// Deps returns the recorded dependency stream.
+func (c *Collector) Deps() []Dep { return c.deps }
+
+// AddCounter records one named scalar.
+func (c *Collector) AddCounter(name string, v int64) {
+	c.counters = append(c.counters, Counter{Name: name, Value: v})
+}
+
+// Counters returns the recorded counters in record order.
+func (c *Collector) Counters() []Counter { return c.counters }
+
+// Reset drops all recorded state while keeping the collector reusable.
+func (c *Collector) Reset() {
+	c.tracks = c.tracks[:0]
+	c.deps = c.deps[:0]
+	c.counters = c.counters[:0]
+}

@@ -1,6 +1,9 @@
 package topo
 
-import "nmppak/internal/sim"
+import (
+	"nmppak/internal/sim"
+	"nmppak/internal/telemetry"
+)
 
 // Network is a routed interconnect instance bound to a machine size: a
 // static set of serializing directed links (identified by dense integer
@@ -74,7 +77,27 @@ type Flight struct {
 	// (routes are static for the network's lifetime); in-flight message
 	// closures borrow the cached slices.
 	routes [][]int
+	pr     *Probe
 }
+
+// Probe mirrors every link reservation a Flight makes onto telemetry
+// tracks. Links is indexed by dense link ID; Offset shifts the Flight's
+// local engine clock into global time at record time, so spans land in
+// the run's timeline directly.
+type Probe struct {
+	Links  []*telemetry.Track
+	Offset sim.Cycle
+}
+
+// record emits one occupancy window: the reserved [start, end) slot on
+// the link, the message bytes, and the cycle the reservation was asked
+// for (End - Arg2 is the link's booked-ahead backlog at that moment).
+func (p *Probe) record(link int, start, end sim.Cycle, b int64, req sim.Cycle) {
+	p.Links[link].Add(telemetry.SpanLink, p.Offset+start, p.Offset+end, b, int64(p.Offset+req))
+}
+
+// SetProbe attaches (or, with nil, detaches) a link-occupancy probe.
+func (f *Flight) SetProbe(p *Probe) { f.pr = p }
 
 // NewFlight prepares a Flight over net scheduling on eng.
 func NewFlight(net Network, eng *sim.Engine) *Flight {
@@ -112,30 +135,38 @@ func (f *Flight) Dur(b int64) sim.Cycle {
 func (f *Flight) Send(src, dst int, b int64, deliver func()) {
 	path := f.route(src, dst)
 	dur := f.Dur(b)
+	req := f.eng.Now()
 	slot := f.free[path[0]]
-	if now := f.eng.Now(); now > slot {
-		slot = now
+	if req > slot {
+		slot = req
 	}
 	f.free[path[0]] = slot + dur
-	f.hop(path, 1, slot+dur, dur, deliver)
+	if f.pr != nil {
+		f.pr.record(path[0], slot, slot+dur, b, req)
+	}
+	f.hop(path, 1, slot+dur, dur, b, deliver)
 }
 
 // hop advances the message past link h-1 (released at prevEnd): it either
 // delivers, or schedules the reservation of link h after the inter-link
 // latency.
-func (f *Flight) hop(path []int, h int, prevEnd, dur sim.Cycle, deliver func()) {
+func (f *Flight) hop(path []int, h int, prevEnd, dur sim.Cycle, b int64, deliver func()) {
 	if h == len(path) {
 		f.eng.At(prevEnd, deliver)
 		return
 	}
 	f.eng.At(prevEnd+f.lat, func() {
 		l := path[h]
+		req := f.eng.Now()
 		slot := f.free[l]
-		if now := f.eng.Now(); now > slot {
-			slot = now
+		if req > slot {
+			slot = req
 		}
 		f.free[l] = slot + dur
-		f.hop(path, h+1, slot+dur, dur, deliver)
+		if f.pr != nil {
+			f.pr.record(l, slot, slot+dur, b, req)
+		}
+		f.hop(path, h+1, slot+dur, dur, b, deliver)
 	})
 }
 
@@ -155,6 +186,14 @@ type ExchangeStats struct {
 // kernel, which keeps the result deterministic. Diagonal entries (local
 // data) cost nothing.
 func Exchange(net Network, bytes [][]int64) ExchangeStats {
+	return ExchangeProbed(net, bytes, nil)
+}
+
+// ExchangeProbed is Exchange with link-occupancy recording: when pr is
+// non-nil every per-link reservation of the exchange is mirrored onto
+// pr.Links, shifted by pr.Offset into global time. The returned stats are
+// identical to Exchange's.
+func ExchangeProbed(net Network, bytes [][]int64, pr *Probe) ExchangeStats {
 	var st ExchangeStats
 	n := net.Nodes()
 	if n <= 1 {
@@ -162,6 +201,7 @@ func Exchange(net Network, bytes [][]int64) ExchangeStats {
 	}
 	eng := &sim.Engine{}
 	f := NewFlight(net, eng)
+	f.SetProbe(pr)
 	msgs := 0
 	for src := 0; src < n; src++ {
 		for dst := 0; dst < n; dst++ {

@@ -28,7 +28,9 @@ import (
 	"nmppak/internal/nmp"
 	"nmppak/internal/pakgraph"
 	"nmppak/internal/readsim"
+	"nmppak/internal/report"
 	"nmppak/internal/scaleout"
+	"nmppak/internal/telemetry"
 	"nmppak/internal/topo"
 	"nmppak/internal/trace"
 )
@@ -111,6 +113,24 @@ type (
 	// (trace cursor, local clock, accumulated result, DRAM timing), the
 	// per-node building block of a scale-out checkpoint.
 	NMPEngineState = nmp.EngineState
+	// TelemetryCollector accumulates one instrumented run's cycle-domain
+	// timeline: spans on per-resource tracks (node engines, interconnect
+	// links, DRAM channel buses, the runtime phase schedule), dependency
+	// records and counters. Attach one to ScaleOutConfig.Telemetry and
+	// export with its WriteChrome method (Perfetto / chrome://tracing).
+	TelemetryCollector = telemetry.Collector
+	// TelemetryTrack is one resource's recorded span stream.
+	TelemetryTrack = telemetry.Track
+	// TelemetrySpan is one recorded time window on a track.
+	TelemetrySpan = telemetry.Span
+	// TelemetryUtilization is the aggregate counter set AnalyzeTelemetry
+	// derives from a collector: per-node busy/idle/stall, per-link
+	// occupancy and peak backlog, DRAM bus time, and the comm fraction
+	// (which reproduces ScaleOutResult.CommFraction exactly).
+	TelemetryUtilization = telemetry.Utilization
+	// TelemetryCPEntry is one iteration of the critical-path attribution:
+	// the node whose compute bounded it and the wait that preceded it.
+	TelemetryCPEntry = telemetry.CPEntry
 )
 
 // ScaleOutCheckpointVersion is the checkpoint blob format version this
@@ -251,6 +271,31 @@ func NewMinimizerPartitioner(m int) MinimizerPartitioner {
 func NewBalancedPartitioner(res *KmerResult, m, nodes int) BalancedPartitioner {
 	return scaleout.NewBalancedPartitioner(res, m, nodes)
 }
+
+// NewTelemetry returns an empty telemetry collector, ready to attach to
+// ScaleOutConfig.Telemetry. Collection is deterministic and does not
+// perturb the simulated machine; pass a fresh (or Reset) collector per
+// run.
+func NewTelemetry() *TelemetryCollector { return telemetry.New() }
+
+// AnalyzeTelemetry folds a collected timeline into aggregate utilization
+// counters.
+func AnalyzeTelemetry(c *TelemetryCollector) *TelemetryUtilization { return telemetry.Analyze(c) }
+
+// TelemetryCriticalPath walks the recorded dependency graph backwards
+// from the last-finishing node iteration, attributing each compaction
+// iteration's share of the end-to-end cycles to its bounding resource.
+func TelemetryCriticalPath(c *TelemetryCollector) []TelemetryCPEntry {
+	return telemetry.CriticalPath(c)
+}
+
+// FormatUtilization renders an analyzed timeline as the aligned text
+// tables cmd/experiments -timeline prints.
+func FormatUtilization(u *TelemetryUtilization) string { return report.Utilization(u) }
+
+// FormatCriticalPath renders a critical-path attribution as an aligned
+// text table.
+func FormatCriticalPath(entries []TelemetryCPEntry) string { return report.CriticalPath(entries) }
 
 // ParseSeq parses an ASCII DNA string.
 func ParseSeq(s string) (Seq, error) { return dna.ParseSeq(s) }

@@ -1,6 +1,8 @@
 package nmppak_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"reflect"
 	"strings"
 	"testing"
@@ -199,5 +201,66 @@ func TestKmerGraphHelpers(t *testing.T) {
 	}
 	if err := g.Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPublicTelemetryAPI drives the observability surface: an
+// instrumented scale-out run, Chrome-trace export, the derived
+// utilization aggregate (which must reproduce the runtime's comm
+// fraction exactly), critical-path attribution and the text renderers.
+func TestPublicTelemetryAPI(t *testing.T) {
+	g, err := nmppak.GenerateGenome(nmppak.GenomeConfig{Length: 20000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, err := nmppak.SimulateReads(g, nmppak.ReadConfig{ReadLen: 100, Coverage: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _, err := nmppak.CaptureTrace(reads, 32, 0, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := nmppak.DefaultScaleOutConfig(4)
+	cfg.MinCount = 1
+	cfg.Topo = nmppak.TorusTopo(2, 2)
+	cfg.Overlap = true
+	cfg.Telemetry = nmppak.NewTelemetry()
+	res, err := nmppak.SimulateScaleOut(reads, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := cfg.Telemetry.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+
+	u := nmppak.AnalyzeTelemetry(cfg.Telemetry)
+	if u.CommFraction != res.CommFraction {
+		t.Fatalf("telemetry comm fraction %v != runtime %v", u.CommFraction, res.CommFraction)
+	}
+	if len(u.Nodes) != cfg.Nodes || len(u.Links) == 0 {
+		t.Fatalf("aggregate covers %d nodes / %d links", len(u.Nodes), len(u.Links))
+	}
+	cp := nmppak.TelemetryCriticalPath(cfg.Telemetry)
+	if len(cp) == 0 {
+		t.Fatal("no critical path")
+	}
+	if s := nmppak.FormatUtilization(u); !strings.Contains(s, "per-node breakdown") {
+		t.Fatalf("utilization rendering missing node table:\n%s", s)
+	}
+	if s := nmppak.FormatCriticalPath(cp); !strings.Contains(s, "critical path") {
+		t.Fatalf("critical-path rendering missing title:\n%s", s)
 	}
 }
