@@ -4,24 +4,33 @@
 //
 //	experiments [-quick] [-scale N] <id>|all
 //	experiments [-quick] [-scale N] -scaling
+//	experiments [-quick] [-scale N] -faults
 //	experiments [-quick] [-scale N] -checkpoint <file>
 //	experiments [-quick] [-scale N] -restore <file>
-//	experiments [-quick] [-scale N] -timeline <out.json>
+//	experiments [-quick] [-scale N] -timeline <out.json> [-inject]
 //
 // where <id> is one of: fig5 fig6 fig7 fig8 fig12 fig13 fig14 fig15
 // table1 table3 comm super hybrid footprint gpucap swopt ablation
-// scaling. The -scaling flag is shorthand for the scaling study: the
-// multi-node scale-out strong/weak-scaling report, including the
+// scaling faults. The -scaling flag is shorthand for the scaling study:
+// the multi-node scale-out strong/weak-scaling report, including the
 // overlapped-halo-exchange-vs-BSP comparison and the partitioner sweep
 // (hash / minimizer / weight-aware balanced) on a repeat-heavy workload.
+// The -faults flag is shorthand for the fault-injection study: a
+// mid-phase node loss replayed under increasing periodic-checkpoint
+// cadences, reporting the recovery overhead (discarded work, detection
+// and restore stalls, re-partitioned shard bytes) of each.
 // The -checkpoint/-restore pair demonstrates checkpoint/restore of the
 // distributed runtime: -checkpoint pauses the scale-out run mid-compaction
-// and writes the versioned state blob to the file; -restore (same workload
-// flags) resumes it to completion and verifies the result bit for bit
-// against the uninterrupted run. The -timeline flag captures an 8-node
-// torus overlapped run with telemetry enabled, writes the Chrome-trace
-// JSON (open in Perfetto) to the file, and prints the utilization table
-// and critical-path report.
+// and writes the versioned state blob to the file (atomically — temp file
+// plus rename, so an interrupted save never leaves a truncated blob);
+// -restore (same workload flags) resumes it to completion and verifies
+// the result bit for bit against the uninterrupted run. The -timeline
+// flag captures an 8-node torus overlapped run with telemetry enabled,
+// writes the Chrome-trace JSON (open in Perfetto) to the file, and prints
+// the utilization table and critical-path report; adding -inject kills a
+// node mid-phase under checkpoint cadence 2, putting the elastic
+// recovery — fault instant, detection, restore, re-partitioning, capture
+// barriers — on the same trace.
 package main
 
 import (
@@ -40,23 +49,27 @@ func main() {
 		quick      = flag.Bool("quick", false, "use the small test workload")
 		scale      = flag.Int("scale", 0, "override genome length (bp)")
 		scaling    = flag.Bool("scaling", false, "run the multi-node scale-out scaling study (BSP vs. overlap, partitioner sweep)")
-		checkpoint = flag.String("checkpoint", "", "pause the scale-out run mid-compaction and write the checkpoint blob to this `file`")
+		faults     = flag.Bool("faults", false, "run the fault-injection study (recovery overhead vs. checkpoint cadence under a node loss)")
+		checkpoint = flag.String("checkpoint", "", "pause the scale-out run mid-compaction and write the checkpoint blob to this `file` (atomic temp-file + rename)")
 		restore    = flag.String("restore", "", "resume the scale-out run from this checkpoint `file` and verify against the uninterrupted run")
 		timeline   = flag.String("timeline", "", "capture an instrumented 8-node torus overlapped run and write the Chrome-trace JSON to this `file`")
+		inject     = flag.Bool("inject", false, "with -timeline: kill a node mid-phase (checkpoint cadence 2) so the trace shows the elastic recovery")
 	)
 	flag.Parse()
 	modes := 0
-	for _, on := range []bool{*scaling, *checkpoint != "", *restore != "", *timeline != ""} {
+	for _, on := range []bool{*scaling, *faults, *checkpoint != "", *restore != "", *timeline != ""} {
 		if on {
 			modes++
 		}
 	}
-	if (flag.NArg() != 1 && modes == 0) || (flag.NArg() > 0 && modes > 0) || modes > 1 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [-quick] [-scale N] <fig5|fig6|fig7|fig8|fig12|fig13|fig14|fig15|table1|table3|comm|super|hybrid|footprint|gpucap|swopt|ablation|scaling|all>")
+	if (flag.NArg() != 1 && modes == 0) || (flag.NArg() > 0 && modes > 0) || modes > 1 ||
+		(*inject && *timeline == "") {
+		fmt.Fprintln(os.Stderr, "usage: experiments [-quick] [-scale N] <fig5|fig6|fig7|fig8|fig12|fig13|fig14|fig15|table1|table3|comm|super|hybrid|footprint|gpucap|swopt|ablation|scaling|faults|all>")
 		fmt.Fprintln(os.Stderr, "       experiments [-quick] [-scale N] -scaling")
+		fmt.Fprintln(os.Stderr, "       experiments [-quick] [-scale N] -faults")
 		fmt.Fprintln(os.Stderr, "       experiments [-quick] [-scale N] -checkpoint <file>")
 		fmt.Fprintln(os.Stderr, "       experiments [-quick] [-scale N] -restore <file>")
-		fmt.Fprintln(os.Stderr, "       experiments [-quick] [-scale N] -timeline <out.json>")
+		fmt.Fprintln(os.Stderr, "       experiments [-quick] [-scale N] -timeline <out.json> [-inject]")
 		os.Exit(2)
 	}
 	w := experiments.DefaultWorkload()
@@ -78,7 +91,7 @@ func main() {
 		return
 	}
 	if *timeline != "" {
-		if err := runTimelineMode(ctx, *timeline); err != nil {
+		if err := runTimelineMode(ctx, *timeline, *inject); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -116,14 +129,18 @@ func main() {
 		"swopt":     func() (*experiments.Report, error) { return experiments.SWOpt(ctx) },
 		"ablation":  func() (*experiments.Report, error) { return experiments.Ablation(ctx) },
 		"scaling":   func() (*experiments.Report, error) { return experiments.Scaling(ctx) },
+		"faults":    func() (*experiments.Report, error) { return experiments.Faults(ctx) },
 	}
 	order := []string{"fig5", "fig6", "fig7", "fig8", "table1", "fig12", "fig13", "fig14",
 		"fig15", "comm", "super", "table3", "hybrid", "footprint", "gpucap", "swopt", "ablation",
-		"scaling"}
+		"scaling", "faults"}
 
 	id := flag.Arg(0)
 	if *scaling {
 		id = "scaling"
+	}
+	if *faults {
+		id = "faults"
 	}
 	if id == "all" {
 		for _, name := range order {
@@ -146,14 +163,18 @@ func main() {
 	fmt.Println(r.String())
 }
 
-// runTimelineMode captures an instrumented run and writes the
-// Chrome-trace JSON to the given file.
-func runTimelineMode(ctx *experiments.Context, out string) error {
+// runTimelineMode captures an instrumented run — optionally with an
+// injected node loss — and writes the Chrome-trace JSON to the given file.
+func runTimelineMode(ctx *experiments.Context, out string, inject bool) error {
 	f, err := os.Create(out)
 	if err != nil {
 		return err
 	}
-	rep, err := experiments.Timeline(ctx, f)
+	capture := experiments.Timeline
+	if inject {
+		capture = experiments.FaultTimeline
+	}
+	rep, err := capture(ctx, f)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
@@ -165,17 +186,12 @@ func runTimelineMode(ctx *experiments.Context, out string) error {
 	return nil
 }
 
-// runCheckpointMode writes or consumes a checkpoint blob file.
+// runCheckpointMode writes or consumes a checkpoint blob file. The save
+// side hands the path straight to CheckpointSave, which publishes the
+// blob atomically (temp file + rename).
 func runCheckpointMode(ctx *experiments.Context, checkpointTo, restoreFrom string) error {
 	if checkpointTo != "" {
-		f, err := os.Create(checkpointTo)
-		if err != nil {
-			return err
-		}
-		rep, err := experiments.CheckpointSave(ctx, f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
+		rep, err := experiments.CheckpointSave(ctx, checkpointTo)
 		if err != nil {
 			return err
 		}

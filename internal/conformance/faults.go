@@ -1,0 +1,150 @@
+// Fault conformance: the elastic-recovery analogue of the resume sweep.
+// Every cell of topology × discipline × fault position × checkpoint
+// cadence injects a deterministic node loss into the compaction replay
+// and asserts the recovery contract the elastic runtime promises:
+//
+//  1. Completion: the run finishes (no hang, no error) with the casualty
+//     frozen and exactly one recovery performed.
+//  2. Output conservation: the committed work — the global MacroNodes
+//     processed on the NMP and CPU paths, summed over every node — equals
+//     the fault-free run's, i.e. each global iteration is committed
+//     exactly once despite the discard/re-execute cycle.
+//  3. Recovery is paid for, never free: the recovered run is strictly
+//     slower than the fault-free one, detection and restore cycles are
+//     charged, and the dead node's shard moves bytes to the survivors.
+//  4. Determinism: repeating the cell reproduces the Result bit for bit
+//     (the CI matrix runs this under -race -shuffle=on).
+package conformance
+
+import (
+	"fmt"
+	"reflect"
+
+	"nmppak/internal/fault"
+	"nmppak/internal/scaleout"
+	"nmppak/internal/sim"
+	"nmppak/internal/topo"
+)
+
+// FaultCase is one cell of the fault conformance matrix.
+type FaultCase struct {
+	Topo    topo.Kind
+	Overlap bool
+	Nodes   int
+	// Lost is the node the plan kills.
+	Lost int
+	// AtFrac positions the loss on the compaction-phase clock as a
+	// fraction of the fault-free phase length (0.5 = mid-phase).
+	AtFrac float64
+	// Every is the periodic checkpoint cadence in iterations; 0 recovers
+	// by restarting the phase on the survivors.
+	Every int
+}
+
+// Name renders the cell for subtest names and error messages.
+func (c FaultCase) Name() string {
+	disc := "bsp"
+	if c.Overlap {
+		disc = "overlap"
+	}
+	return fmt.Sprintf("%s/%s/n%d/lose%d@%.0f%%/ckpt%d",
+		c.Topo, disc, c.Nodes, c.Lost, c.AtFrac*100, c.Every)
+}
+
+// Config materializes the cell against a fixture (hash partitioning — the
+// failover assignment composes with any static partitioner, and the
+// resume sweep already covers the partitioner dimension).
+func (c FaultCase) Config(fx *Fixture) (scaleout.Config, error) {
+	base := Case{Topo: c.Topo, Overlap: c.Overlap, Part: PartHash, Nodes: c.Nodes}
+	cfg, err := base.Config(fx)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.CheckpointEvery = c.Every
+	return cfg, nil
+}
+
+// FaultMatrix enumerates the sweep: every topology, both disciplines, an
+// early and a late loss, with and without periodic checkpoints.
+func FaultMatrix(nodes int) []FaultCase {
+	var cases []FaultCase
+	for _, kind := range []topo.Kind{topo.FullMesh, topo.Torus2D, topo.Dragonfly} {
+		for _, overlap := range []bool{false, true} {
+			for _, frac := range []float64{0.25, 0.75} {
+				for _, every := range []int{0, 2} {
+					cases = append(cases, FaultCase{
+						Topo: kind, Overlap: overlap, Nodes: nodes,
+						Lost: nodes / 2, AtFrac: frac, Every: every,
+					})
+				}
+			}
+		}
+	}
+	return cases
+}
+
+// VerifyFault runs one cell end to end and returns the first violated
+// recovery property as an error (nil when the cell conforms).
+func VerifyFault(fx *Fixture, c FaultCase) error {
+	cfg, err := c.Config(fx)
+	if err != nil {
+		return err
+	}
+	golden, err := scaleout.Simulate(fx.Reads, fx.Trace, cfg)
+	if err != nil {
+		return fmt.Errorf("%s: fault-free run: %w", c.Name(), err)
+	}
+	const detect = 500
+	at := sim.Cycle(float64(golden.Compact.Total()) * c.AtFrac)
+	cfg.Faults = fault.NodeLossAt(c.Lost, at, detect)
+
+	res, err := scaleout.Simulate(fx.Reads, fx.Trace, cfg)
+	if err != nil {
+		return fmt.Errorf("%s: recovered run: %w", c.Name(), err)
+	}
+
+	// Property 1: completion with exactly one loss and one recovery.
+	if res.NodesLost != 1 || res.Recoveries != 1 || res.FaultsInjected != 1 {
+		return fmt.Errorf("%s: lost=%d recoveries=%d injected=%d, want 1/1/1",
+			c.Name(), res.NodesLost, res.Recoveries, res.FaultsInjected)
+	}
+
+	// Property 2: output conservation.
+	var wantWork, gotWork int64
+	for _, r := range golden.NMP {
+		wantWork += r.NodesNMP + r.NodesCPU
+	}
+	for _, r := range res.NMP {
+		gotWork += r.NodesNMP + r.NodesCPU
+	}
+	if gotWork != wantWork {
+		return fmt.Errorf("%s: committed work %d MacroNodes, fault-free run committed %d",
+			c.Name(), gotWork, wantWork)
+	}
+
+	// Property 3: recovery overhead is visible in the accounting.
+	if res.TotalCycles <= golden.TotalCycles {
+		return fmt.Errorf("%s: recovered run (%d cycles) not slower than fault-free (%d)",
+			c.Name(), res.TotalCycles, golden.TotalCycles)
+	}
+	if res.RecoveryCycles < detect {
+		return fmt.Errorf("%s: recovery cycles %d below the %d-cycle detection latency",
+			c.Name(), res.RecoveryCycles, detect)
+	}
+	if res.RepartitionBytes <= 0 {
+		return fmt.Errorf("%s: recovery re-partitioned no shard bytes", c.Name())
+	}
+	if c.Every > 0 && res.Checkpoints == 0 {
+		return fmt.Errorf("%s: cadence %d captured no checkpoints", c.Name(), c.Every)
+	}
+
+	// Property 4: determinism.
+	again, err := scaleout.Simulate(fx.Reads, fx.Trace, cfg)
+	if err != nil {
+		return fmt.Errorf("%s: repeat run: %w", c.Name(), err)
+	}
+	if !reflect.DeepEqual(again, res) {
+		return fmt.Errorf("%s: recovered run is not deterministic", c.Name())
+	}
+	return nil
+}

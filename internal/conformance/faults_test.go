@@ -1,0 +1,22 @@
+package conformance
+
+import "testing"
+
+// TestFaultMatrix sweeps topology × discipline × fault position ×
+// checkpoint cadence, asserting completion, output conservation, visible
+// recovery overhead and bit-exact determinism for every cell. In -short
+// mode only the no-checkpoint column runs.
+func TestFaultMatrix(t *testing.T) {
+	f := fixture(t)
+	for _, c := range FaultMatrix(4) {
+		c := c
+		if testing.Short() && c.Every != 0 {
+			continue
+		}
+		t.Run(c.Name(), func(t *testing.T) {
+			if err := VerifyFault(f, c); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

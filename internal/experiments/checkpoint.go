@@ -10,6 +10,8 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"reflect"
 
 	"nmppak/internal/scaleout"
@@ -32,8 +34,11 @@ func checkpointConfig(c *Context) scaleout.Config {
 }
 
 // CheckpointSave pauses the scale-out run mid-compaction and writes the
-// versioned blob to w.
-func CheckpointSave(c *Context, w io.Writer) (*Report, error) {
+// versioned blob to path. The write is crash-safe: the blob lands in a
+// temp file beside the destination and is renamed into place only after a
+// successful sync, so an interrupted save leaves either the previous file
+// or nothing — never a truncated blob that a later -restore would reject.
+func CheckpointSave(c *Context, path string) (*Report, error) {
 	tr, err := c.Trace()
 	if err != nil {
 		return nil, err
@@ -44,13 +49,13 @@ func CheckpointSave(c *Context, w io.Writer) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := w.Write(blob); err != nil {
+	if err := writeFileAtomic(path, blob); err != nil {
 		return nil, err
 	}
 	text := fmt.Sprintf(
 		"checkpointed a %d-node %s %s run before compaction iteration %d of %d\n"+
 			"blob: version %d, %d bytes (engine timing state + measured durations; the trace itself stays outside)\n"+
-			"restore with: experiments -restore <file> (same workload flags)\n",
+			"written atomically (temp file + rename); restore with: experiments -restore <file> (same workload flags)\n",
 		cfg.Nodes, cfg.Topo.Kind, cfg.Partitioner.Name(), at, len(tr.Iterations),
 		scaleout.CheckpointVersion, len(blob))
 	return &Report{
@@ -110,6 +115,37 @@ func RestoreLoad(c *Context, r io.Reader) (*Report, error) {
 		return rep, fmt.Errorf("restored result is not bit-identical to the uninterrupted run")
 	}
 	return rep, nil
+}
+
+// writeFileAtomic publishes data at path through a same-directory temp
+// file, fsync and rename — the standard crash-safe write: a reader (or a
+// rerun after a crash) sees either the old complete file or the new
+// complete file, never a prefix.
+func writeFileAtomic(path string, data []byte) (err error) {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if _, err = f.Write(data); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Chmod(tmp, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // b2f renders a boolean as a measured 0/1.

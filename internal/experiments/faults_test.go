@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFaultsSweepShape(t *testing.T) {
+	r, err := Faults(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every cadence column must report its overhead, and the no-checkpoint
+	// recovery (restart the phase) must discard the most work.
+	for _, e := range []int{0, 1, 2, 4, 8} {
+		if _, ok := r.Measured["overhead_cycles_ckpt"+itoa(e)]; !ok {
+			t.Fatalf("missing overhead for cadence %d", e)
+		}
+		if r.Measured["overhead_cycles_ckpt"+itoa(e)] <= 0 {
+			t.Fatalf("cadence %d reports non-positive recovery overhead", e)
+		}
+	}
+	if r.Measured["lost_iters_ckpt1"] > r.Measured["lost_iters_ckpt0"] {
+		t.Fatalf("per-iteration checkpoints discarded more work (%g) than none (%g)",
+			r.Measured["lost_iters_ckpt1"], r.Measured["lost_iters_ckpt0"])
+	}
+	if r.Measured["checkpoint_cycles_ckpt0"] != 0 {
+		t.Fatal("cadence 0 charged checkpoint capture cycles")
+	}
+	if r.Measured["checkpoint_cycles_ckpt1"] <= 0 {
+		t.Fatal("cadence 1 charged no checkpoint capture cycles")
+	}
+}
+
+func TestFaultTimelineReconciles(t *testing.T) {
+	var buf bytes.Buffer
+	r, err := FaultTimeline(ctx(t), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Measured["recoveries"] != 1 {
+		t.Fatalf("recoveries = %g, want 1", r.Measured["recoveries"])
+	}
+	if r.Measured["reconcile_diff"] != 0 {
+		t.Fatalf("comm fraction did not reconcile exactly: diff %g", r.Measured["reconcile_diff"])
+	}
+	// The Chrome trace must carry the recovery vocabulary.
+	for _, name := range []string{"fault", "detect", "restore", "repartition", "checkpoint"} {
+		if !strings.Contains(buf.String(), `"name":"`+name+`"`) {
+			t.Fatalf("trace JSON has no %q span", name)
+		}
+	}
+}
+
+func TestCheckpointSaveAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.blob")
+	if _, err := CheckpointSave(ctx(t), path); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) == 0 {
+		t.Fatal("empty blob")
+	}
+	// No temp residue: the only directory entry is the published file.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "ck.blob" {
+		t.Fatalf("directory not clean after save: %v", ents)
+	}
+	// Saving over an existing file replaces it atomically (same content).
+	if _, err := CheckpointSave(ctx(t), path); err != nil {
+		t.Fatal(err)
+	}
+	again, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, again) {
+		t.Fatal("re-saved blob differs")
+	}
+	// An unwritable destination errors cleanly and leaves nothing behind.
+	if _, err := CheckpointSave(ctx(t), filepath.Join(dir, "missing", "ck.blob")); err == nil {
+		t.Fatal("save into a missing directory did not error")
+	}
+}
+
+// itoa avoids pulling strconv into the test for single digits.
+func itoa(n int) string { return string(rune('0' + n)) }

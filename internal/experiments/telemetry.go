@@ -37,11 +37,18 @@ func timelineConfig(c *Context) scaleout.Config {
 // JSON to w; the returned report carries the utilization and
 // critical-path text.
 func Timeline(c *Context, w io.Writer) (*Report, error) {
+	return captureTimeline(c, w, timelineConfig(c), "timeline",
+		"cycle-domain timeline capture (Chrome trace), utilization and critical path", "")
+}
+
+// captureTimeline runs cfg instrumented, cross-checks the derived comm
+// fraction against the runtime's, and writes the Chrome trace — shared by
+// the fault-free Timeline and the fault-injected FaultTimeline.
+func captureTimeline(c *Context, w io.Writer, cfg scaleout.Config, id, title, preamble string) (*Report, error) {
 	tr, err := c.Trace()
 	if err != nil {
 		return nil, err
 	}
-	cfg := timelineConfig(c)
 	col := telemetry.New()
 	cfg.Telemetry = col
 	res, err := scaleout.Simulate(c.Reads, tr, cfg)
@@ -62,24 +69,31 @@ func Timeline(c *Context, w io.Writer) (*Report, error) {
 	for _, t := range col.Tracks() {
 		spans += t.Len()
 	}
-	text := fmt.Sprintf(
+	text := preamble + fmt.Sprintf(
 		"captured an %d-node %s overlapped run: %d tracks, %d spans\n"+
 			"comm fraction reconciles: telemetry %.6f == runtime %.6f\n"+
 			"open the JSON in https://ui.perfetto.dev or chrome://tracing (1 ts = 1 cycle = 0.625 ns)\n\n",
 		cfg.Nodes, res.Topology, len(col.Tracks()), spans,
 		u.CommFraction, res.CommFraction)
 	text += report.Utilization(u) + "\n" + report.CriticalPath(cp)
+	measured := map[string]float64{
+		"tracks":         float64(len(col.Tracks())),
+		"spans":          float64(spans),
+		"comm_frac":      u.CommFraction,
+		"total_cycles":   float64(u.Total),
+		"cp_iters":       float64(len(cp)),
+		"reconcile_diff": math.Abs(u.CommFraction - res.CommFraction),
+	}
+	if res.Recoveries > 0 {
+		measured["recoveries"] = float64(res.Recoveries)
+		measured["recovery_cycles"] = float64(res.RecoveryCycles)
+		measured["repartition_bytes"] = float64(res.RepartitionBytes)
+		measured["checkpoints"] = float64(res.Checkpoints)
+	}
 	return &Report{
-		ID:    "timeline",
-		Title: "cycle-domain timeline capture (Chrome trace), utilization and critical path",
-		Text:  text,
-		Measured: map[string]float64{
-			"tracks":         float64(len(col.Tracks())),
-			"spans":          float64(spans),
-			"comm_frac":      u.CommFraction,
-			"total_cycles":   float64(u.Total),
-			"cp_iters":       float64(len(cp)),
-			"reconcile_diff": math.Abs(u.CommFraction - res.CommFraction),
-		},
+		ID:       id,
+		Title:    title,
+		Text:     text,
+		Measured: measured,
 	}, nil
 }

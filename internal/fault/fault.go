@@ -1,0 +1,166 @@
+// Package fault models deterministic infrastructure failures injected
+// into a scale-out simulation: node loss, link bandwidth degradation and
+// link outage, each pinned to a chosen cycle of the compaction phase.
+// A Plan is pure data — the scaleout elastic runtime consumes it, detects
+// losses at the next iteration boundary, restores survivors from the last
+// periodic checkpoint and re-partitions the dead node's shard (see
+// internal/scaleout). Keeping the model here, free of runtime
+// dependencies, lets experiments and tests build plans without touching
+// the runtime and keeps the event vocabulary in one place.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"nmppak/internal/sim"
+)
+
+// Kind classifies a fault event.
+type Kind uint8
+
+const (
+	// NodeLoss kills a node: its engine stops producing results past the
+	// last checkpoint and its shard is re-partitioned across survivors.
+	NodeLoss Kind = iota
+	// LinkDegrade multiplies the occupancy of every link on the minimal
+	// Src -> Dst route by 1/Factor (Factor is the surviving bandwidth
+	// fraction), modeling a flapping cable or a congested oversubscribed
+	// path.
+	LinkDegrade
+	// LinkOutage removes every link on the minimal Src -> Dst route from
+	// the topology; later traffic detours around the cut (internal/topo's
+	// Degraded wrapper reroutes via an intermediate node). A plan that
+	// disconnects two live nodes is rejected when the event applies.
+	LinkOutage
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case NodeLoss:
+		return "node-loss"
+	case LinkDegrade:
+		return "link-degrade"
+	case LinkOutage:
+		return "link-outage"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one scheduled fault. Cycle is measured on the compaction-phase
+// clock (cycle 0 = the first compaction iteration's start): the runtime
+// applies the event at the first iteration boundary whose completion time
+// reaches Cycle, which is where a lockstep distributed run can first act
+// on it.
+type Event struct {
+	Kind  Kind
+	Cycle sim.Cycle
+	// Node is the dying node (NodeLoss only).
+	Node int
+	// Src, Dst identify the routed channel of a link event: the links of
+	// the topology's minimal Src -> Dst route degrade or go down.
+	Src, Dst int
+	// Factor is the surviving bandwidth fraction of a LinkDegrade, in
+	// (0, 1]; 1 is a no-op, 0.5 halves the route's link bandwidth.
+	Factor float64
+}
+
+// String renders the event for logs and error messages.
+func (e Event) String() string {
+	switch e.Kind {
+	case NodeLoss:
+		return fmt.Sprintf("node-loss(node%d@%d)", e.Node, e.Cycle)
+	case LinkDegrade:
+		return fmt.Sprintf("link-degrade(%d->%d x%g@%d)", e.Src, e.Dst, e.Factor, e.Cycle)
+	case LinkOutage:
+		return fmt.Sprintf("link-outage(%d->%d@%d)", e.Src, e.Dst, e.Cycle)
+	}
+	return fmt.Sprintf("event(kind=%d)", int(e.Kind))
+}
+
+// Plan is a deterministic fault schedule for one run.
+type Plan struct {
+	Events []Event
+	// DetectCycles is the failure-detection latency charged when a node
+	// loss is acted on (heartbeat timeout, membership agreement). Link
+	// events apply silently — degraded bandwidth is simply observed.
+	DetectCycles sim.Cycle
+}
+
+// NodeLossAt returns a single-node-loss plan, the common case.
+func NodeLossAt(node int, cycle sim.Cycle, detect sim.Cycle) *Plan {
+	return &Plan{
+		Events:       []Event{{Kind: NodeLoss, Cycle: cycle, Node: node}},
+		DetectCycles: detect,
+	}
+}
+
+// Validate checks the plan against a machine size: every referenced node
+// in range, degrade factors in (0, 1], non-negative cycles and detection
+// latency, no node lost twice, and at least one survivor.
+func (p *Plan) Validate(nodes int) error {
+	if p == nil {
+		return nil
+	}
+	if p.DetectCycles < 0 {
+		return fmt.Errorf("fault: DetectCycles must be >= 0, got %d", p.DetectCycles)
+	}
+	lost := make(map[int]bool)
+	for i, e := range p.Events {
+		if e.Cycle < 0 {
+			return fmt.Errorf("fault: event %d (%s) has negative cycle", i, e)
+		}
+		switch e.Kind {
+		case NodeLoss:
+			if e.Node < 0 || e.Node >= nodes {
+				return fmt.Errorf("fault: event %d kills node %d of %d", i, e.Node, nodes)
+			}
+			if lost[e.Node] {
+				return fmt.Errorf("fault: event %d kills node %d twice", i, e.Node)
+			}
+			lost[e.Node] = true
+		case LinkDegrade, LinkOutage:
+			if e.Src < 0 || e.Src >= nodes || e.Dst < 0 || e.Dst >= nodes {
+				return fmt.Errorf("fault: event %d routes %d -> %d outside %d nodes", i, e.Src, e.Dst, nodes)
+			}
+			if e.Src == e.Dst {
+				return fmt.Errorf("fault: event %d degrades the local path %d -> %d", i, e.Src, e.Dst)
+			}
+			if e.Kind == LinkDegrade && !(e.Factor > 0 && e.Factor <= 1) {
+				return fmt.Errorf("fault: event %d degrade factor %g outside (0, 1]", i, e.Factor)
+			}
+		default:
+			return fmt.Errorf("fault: event %d has unknown kind %d", i, int(e.Kind))
+		}
+	}
+	if len(lost) >= nodes && nodes > 0 {
+		return fmt.Errorf("fault: plan kills all %d nodes; at least one survivor is required", nodes)
+	}
+	return nil
+}
+
+// Sorted returns the events ordered by (Cycle, original index) — the
+// deterministic application order the runtime consumes.
+func (p *Plan) Sorted() []Event {
+	ev := append([]Event(nil), p.Events...)
+	sort.SliceStable(ev, func(i, j int) bool { return ev[i].Cycle < ev[j].Cycle })
+	return ev
+}
+
+// Empty reports whether the plan schedules nothing.
+func (p *Plan) Empty() bool { return p == nil || len(p.Events) == 0 }
+
+// Fingerprint renders the plan's full identity as a stable string (the
+// scaleout checkpoint config digest folds it in, so a blob cannot be
+// restored under a different fault schedule).
+func (p *Plan) Fingerprint() string {
+	if p.Empty() {
+		return "none"
+	}
+	s := fmt.Sprintf("detect=%d", p.DetectCycles)
+	for _, e := range p.Events {
+		s += ";" + e.String()
+	}
+	return s
+}

@@ -1,0 +1,78 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name  string
+		plan  Plan
+		nodes int
+		want  string // substring of the error, "" for valid
+	}{
+		{"empty", Plan{}, 4, ""},
+		{"loss ok", *NodeLossAt(2, 100, 50), 4, ""},
+		{"loss out of range", Plan{Events: []Event{{Kind: NodeLoss, Node: 4}}}, 4, "kills node 4"},
+		{"loss negative node", Plan{Events: []Event{{Kind: NodeLoss, Node: -1}}}, 4, "kills node -1"},
+		{"double kill", Plan{Events: []Event{
+			{Kind: NodeLoss, Node: 1}, {Kind: NodeLoss, Node: 1, Cycle: 9},
+		}}, 4, "twice"},
+		{"all dead", Plan{Events: []Event{
+			{Kind: NodeLoss, Node: 0}, {Kind: NodeLoss, Node: 1},
+		}}, 2, "survivor"},
+		{"negative cycle", Plan{Events: []Event{{Kind: NodeLoss, Node: 0, Cycle: -1}}}, 4, "negative cycle"},
+		{"negative detect", Plan{DetectCycles: -5}, 4, "DetectCycles"},
+		{"degrade ok", Plan{Events: []Event{{Kind: LinkDegrade, Src: 0, Dst: 1, Factor: 0.5}}}, 4, ""},
+		{"degrade factor zero", Plan{Events: []Event{{Kind: LinkDegrade, Src: 0, Dst: 1}}}, 4, "factor"},
+		{"degrade factor big", Plan{Events: []Event{{Kind: LinkDegrade, Src: 0, Dst: 1, Factor: 1.5}}}, 4, "factor"},
+		{"degrade self", Plan{Events: []Event{{Kind: LinkDegrade, Src: 1, Dst: 1, Factor: 0.5}}}, 4, "local path"},
+		{"outage ok", Plan{Events: []Event{{Kind: LinkOutage, Src: 3, Dst: 0}}}, 4, ""},
+		{"outage out of range", Plan{Events: []Event{{Kind: LinkOutage, Src: 0, Dst: 7}}}, 4, "outside"},
+		{"unknown kind", Plan{Events: []Event{{Kind: Kind(9)}}}, 4, "unknown kind"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.plan.Validate(c.nodes)
+			if c.want == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %v does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestSortedIsStableByCycle(t *testing.T) {
+	p := Plan{Events: []Event{
+		{Kind: NodeLoss, Node: 2, Cycle: 500},
+		{Kind: LinkDegrade, Src: 0, Dst: 1, Factor: 0.5, Cycle: 100},
+		{Kind: NodeLoss, Node: 1, Cycle: 100},
+	}}
+	got := p.Sorted()
+	if got[0].Kind != LinkDegrade || got[1].Node != 1 || got[2].Node != 2 {
+		t.Fatalf("unexpected order: %v", got)
+	}
+	// The plan itself is untouched.
+	if p.Events[0].Node != 2 {
+		t.Fatalf("Sorted mutated the plan")
+	}
+}
+
+func TestFingerprintDistinguishesPlans(t *testing.T) {
+	a := NodeLossAt(1, 100, 0).Fingerprint()
+	b := NodeLossAt(1, 200, 0).Fingerprint()
+	c := NodeLossAt(2, 100, 0).Fingerprint()
+	if a == b || a == c || b == c {
+		t.Fatalf("fingerprints collide: %q %q %q", a, b, c)
+	}
+	var nilPlan *Plan
+	if nilPlan.Fingerprint() != "none" || !nilPlan.Empty() {
+		t.Fatalf("nil plan should fingerprint as none and be empty")
+	}
+}

@@ -57,7 +57,17 @@ import (
 // CheckpointVersion is the current blob format version. Restore rejects
 // any other version; bump it whenever CheckpointState (or anything it
 // embeds, such as nmp.EngineState) changes incompatibly.
-const CheckpointVersion = 1
+// Version 2 added the elastic membership section (ElasticState).
+const CheckpointVersion = 2
+
+// Structural ceilings applied while validating a decoded blob, before any
+// of its counts size an allocation or a loop: far above any simulated
+// machine, low enough that a corrupt or adversarial length field cannot
+// make Restore balloon.
+const (
+	maxCheckpointNodes = 1 << 16
+	maxCheckpointIters = 1 << 24
+)
 
 // checkpointMagic prefixes every blob, before the little-endian uint32
 // version tag and the gob-encoded CheckpointState payload.
@@ -83,6 +93,23 @@ type RebalanceState struct {
 	HaloBytes     int64
 	Rebalances    int
 	MigratedBytes int64
+}
+
+// ElasticState is the elastic runtime's extra checkpoint state: the live
+// membership the blob was captured under and the committed logical
+// traffic counters a recovery rolls back to. Present exactly on the
+// in-memory ring blobs the elastic runtime captures (Config.CheckpointEvery
+// / Config.Faults); the external Checkpoint/Restore surface never carries
+// it.
+type ElasticState struct {
+	// Live[i] reports whether node i was still alive at capture time; a
+	// dead node's engine is frozen at its own last committed iteration
+	// (Engines[i].Next <= ResumeIter).
+	Live []bool
+	// Committed halo accounting up to ResumeIter.
+	LocalTNs  int64
+	RemoteTNs int64
+	HaloBytes int64
 }
 
 // CheckpointState is the decoded form of a checkpoint blob: everything a
@@ -126,6 +153,10 @@ type CheckpointState struct {
 	// Rebalance is present exactly when the run uses a
 	// RebalancePartitioner.
 	Rebalance *RebalanceState
+
+	// Elastic is present exactly on the elastic runtime's internal ring
+	// blobs (see ElasticState).
+	Elastic *ElasticState
 }
 
 // Checkpoint runs the scale-out pipeline — the software phases and the
@@ -141,6 +172,9 @@ func Checkpoint(reads []readsim.Read, tr *trace.Trace, cfg Config, beforeIter in
 	net, err := validateRun(tr, cfg)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.elastic() {
+		return nil, fmt.Errorf("scaleout: Checkpoint pauses a deterministic run; the elastic runtime (CheckpointEvery/Faults) manages its own recovery checkpoints")
 	}
 	iters := len(tr.Iterations)
 	if beforeIter < 0 || beforeIter > iters {
@@ -268,6 +302,9 @@ func Restore(tr *trace.Trace, cfg Config, blob []byte) (*Result, error) {
 	net, err := validateRun(tr, cfg)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.elastic() {
+		return nil, fmt.Errorf("scaleout: Restore resumes a deterministic run; the elastic runtime (CheckpointEvery/Faults) manages its own recovery checkpoints")
 	}
 	if err := ck.matches(tr, cfg, net); err != nil {
 		return nil, err
@@ -449,22 +486,44 @@ func UnmarshalCheckpoint(blob []byte) (*CheckpointState, error) {
 // validate checks the decoded state's internal consistency, so Restore
 // can index into it without panicking even on adversarial blobs.
 func (ck *CheckpointState) validate() error {
-	if ck.Nodes < 1 {
-		return fmt.Errorf("scaleout: checkpoint has %d nodes", ck.Nodes)
+	if ck.Nodes < 1 || ck.Nodes > maxCheckpointNodes {
+		return fmt.Errorf("scaleout: checkpoint has %d nodes (valid range [1, %d])", ck.Nodes, maxCheckpointNodes)
 	}
-	if ck.ResumeIter < 0 {
-		return fmt.Errorf("scaleout: checkpoint resume iteration %d is negative", ck.ResumeIter)
+	if ck.ResumeIter < 0 || ck.ResumeIter > maxCheckpointIters {
+		return fmt.Errorf("scaleout: checkpoint resume iteration %d outside [0, %d]", ck.ResumeIter, maxCheckpointIters)
 	}
 	if len(ck.PerNode) != ck.Nodes || len(ck.Engines) != ck.Nodes || len(ck.Durations) != ck.Nodes {
 		return fmt.Errorf("scaleout: checkpoint per-node state sized %d/%d/%d for %d nodes",
 			len(ck.PerNode), len(ck.Engines), len(ck.Durations), ck.Nodes)
+	}
+	if es := ck.Elastic; es != nil {
+		if len(es.Live) != ck.Nodes {
+			return fmt.Errorf("scaleout: checkpoint live mask sized %d for %d nodes", len(es.Live), ck.Nodes)
+		}
+		alive := 0
+		for _, l := range es.Live {
+			if l {
+				alive++
+			}
+		}
+		if alive == 0 {
+			return fmt.Errorf("scaleout: checkpoint live mask has no survivors")
+		}
 	}
 	for i := range ck.Durations {
 		if len(ck.Durations[i]) != ck.ResumeIter {
 			return fmt.Errorf("scaleout: checkpoint node %d records %d durations, resume iteration is %d",
 				i, len(ck.Durations[i]), ck.ResumeIter)
 		}
-		if ck.Engines[i].Next != ck.ResumeIter {
+		// A dead node of an elastic blob is frozen at its own last
+		// committed iteration; everyone else must be exactly at the
+		// resume point.
+		if ck.Elastic != nil && !ck.Elastic.Live[i] {
+			if ck.Engines[i].Next < 0 || ck.Engines[i].Next > ck.ResumeIter {
+				return fmt.Errorf("scaleout: checkpoint dead node %d engine cursor %d outside [0, %d]",
+					i, ck.Engines[i].Next, ck.ResumeIter)
+			}
+		} else if ck.Engines[i].Next != ck.ResumeIter {
 			return fmt.Errorf("scaleout: checkpoint node %d engine cursor %d, resume iteration is %d",
 				i, ck.Engines[i].Next, ck.ResumeIter)
 		}
@@ -507,6 +566,9 @@ func (ck *CheckpointState) matches(tr *trace.Trace, cfg Config, net topo.Network
 	if _, isRb := cfg.Partitioner.(*RebalancePartitioner); isRb != (ck.Rebalance != nil) {
 		return fmt.Errorf("scaleout: checkpoint rebalance state presence (%v) does not match the partitioner", ck.Rebalance != nil)
 	}
+	if ck.Elastic != nil {
+		return fmt.Errorf("scaleout: blob carries elastic membership state (an internal recovery checkpoint); only the elastic runtime's ring restores it")
+	}
 	if d := configDigest(cfg, net.Name()); d != ck.ConfigDigest {
 		return fmt.Errorf("scaleout: configuration digest %016x does not match checkpoint %016x", d, ck.ConfigDigest)
 	}
@@ -525,9 +587,10 @@ func (ck *CheckpointState) matches(tr *trace.Trace, cfg Config, net topo.Network
 // restored on a machine with a different core count.
 func configDigest(cfg Config, topoName string) uint64 {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "nodes=%d k=%d min=%d overlap=%v part=%s topo=%s|%+v nmp=%+v sw=%+v",
+	fmt.Fprintf(h, "nodes=%d k=%d min=%d overlap=%v part=%s topo=%s|%+v nmp=%+v sw=%+v ckpt=%d/%g faults=%s",
 		cfg.Nodes, cfg.K, cfg.MinCount, cfg.Overlap,
-		partitionerID(cfg.Partitioner), topoName, cfg.Topo, cfg.NMP, cfg.Software)
+		partitionerID(cfg.Partitioner), topoName, cfg.Topo, cfg.NMP, cfg.Software,
+		cfg.CheckpointEvery, cfg.CheckpointBytesPerCycle, cfg.Faults.Fingerprint())
 	return h.Sum64()
 }
 

@@ -1,0 +1,54 @@
+package scaleout
+
+import (
+	"testing"
+
+	"nmppak/internal/trace"
+)
+
+// fuzzSeedBlob builds a tiny valid checkpoint blob (and the trace/config
+// it belongs to) for the corpus: flipped and truncated variants of real
+// bytes probe much deeper than random noise.
+func fuzzSeedBlob(t interface{ Fatal(...any) }) ([]byte, *trace.Trace, Config) {
+	tr := &trace.Trace{K: 32}
+	cfg := DefaultConfig(2)
+	blob, err := Checkpoint(nil, tr, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob, tr, cfg
+}
+
+// FuzzRestoreBlob feeds arbitrary bytes into the checkpoint decode and
+// restore paths. The contract under fuzzing: corrupted input must produce
+// a clean error — never a panic, and never an allocation sized by an
+// unvalidated length field (the structural caps in validate() bound every
+// count before it sizes anything).
+func FuzzRestoreBlob(f *testing.F) {
+	blob, tr, cfg := fuzzSeedBlob(f)
+	f.Add(blob)
+	f.Add(blob[:len(blob)/2])
+	f.Add(blob[:len(checkpointMagic)+2])
+	f.Add([]byte("NMPPAK-CKPT\n\x02\x00\x00\x00garbage"))
+	f.Add([]byte{})
+	for _, i := range []int{len(checkpointMagic) + 1, len(blob) / 2, len(blob) - 3} {
+		mut := append([]byte(nil), blob...)
+		mut[i] ^= 0x40
+		f.Add(mut)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := UnmarshalCheckpoint(data)
+		if err != nil {
+			return
+		}
+		// Structurally valid decodes must still restore without panicking:
+		// either a clean run (the seed blob round-tripping) or a clean
+		// mismatch error.
+		if ck.Nodes != cfg.Nodes {
+			return
+		}
+		if _, err := Restore(tr, cfg, data); err != nil {
+			return
+		}
+	})
+}

@@ -36,6 +36,7 @@ import (
 	"math"
 
 	"nmppak/internal/dna"
+	"nmppak/internal/fault"
 	"nmppak/internal/nmp"
 	"nmppak/internal/readsim"
 	"nmppak/internal/sim"
@@ -90,6 +91,23 @@ type Config struct {
 	// copy.
 	NMP      nmp.Config
 	Software SoftwareModel
+	// CheckpointEvery > 0 captures a full checkpoint of the compaction
+	// replay every that many iterations into an in-memory ring, pricing
+	// each capture at blob-bytes / CheckpointBytesPerCycle. Recovery from
+	// an injected node loss restores from the newest ring entry; 0 (the
+	// default) disables periodic checkpointing — a loss then restarts the
+	// compaction phase from iteration 0 on the survivors.
+	CheckpointEvery int
+	// CheckpointBytesPerCycle prices checkpoint capture and restore I/O;
+	// <= 0 means DefaultCheckpointBytesPerCycle.
+	CheckpointBytesPerCycle float64
+	// Faults, when non-empty, is the deterministic fault plan injected
+	// into the compaction replay (see internal/fault): node losses trigger
+	// detection + restore + survivor re-partitioning, link events degrade
+	// or cut interconnect channels in place. Either Faults or
+	// CheckpointEvery switches Simulate to the elastic runtime
+	// (elastic.go); with both zero the legacy runtimes run untouched.
+	Faults *fault.Plan
 	// Telemetry, when non-nil, collects the run's cycle-domain timeline —
 	// per-node iteration/idle/stall spans, link occupancy windows, DRAM
 	// bus windows and the runtime phase schedule (see internal/telemetry).
@@ -135,11 +153,31 @@ func (c Config) Validate() error {
 		if rp.M < 1 || rp.Every < 1 {
 			return fmt.Errorf("scaleout: RebalancePartitioner needs M >= 1 and Every >= 1, got M=%d Every=%d (use NewRebalancePartitioner)", rp.M, rp.Every)
 		}
+		if c.elastic() {
+			return fmt.Errorf("scaleout: RebalancePartitioner cannot run under the elastic runtime (its ownership history is not checkpointable); unset CheckpointEvery and Faults")
+		}
+	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("scaleout: CheckpointEvery must be >= 0, got %d", c.CheckpointEvery)
+	}
+	if c.CheckpointBytesPerCycle < 0 {
+		return fmt.Errorf("scaleout: CheckpointBytesPerCycle must be >= 0, got %g", c.CheckpointBytesPerCycle)
+	}
+	if err := c.Faults.Validate(c.Nodes); err != nil {
+		return fmt.Errorf("scaleout: %w", err)
 	}
 	if err := c.Topo.Validate(c.Nodes); err != nil {
 		return err
 	}
 	return c.NMP.Validate()
+}
+
+// elastic reports whether the configuration routes the compaction replay
+// through the elastic runtime (elastic.go): periodic checkpointing, a
+// fault plan, or both. False keeps the legacy runtimes byte-for-byte on
+// their existing paths.
+func (c Config) elastic() bool {
+	return c.CheckpointEvery > 0 || !c.Faults.Empty()
 }
 
 // PhaseCycles splits one pipeline phase into compute (slowest node),
@@ -191,6 +229,18 @@ type Result struct {
 	// iterations and the MacroNode bytes they moved over the network.
 	Rebalances    int
 	MigratedBytes int64
+
+	// Elastic-runtime accounting (zero unless CheckpointEvery or Faults
+	// put the run on the elastic runtime — see elastic.go).
+	Checkpoints      int       // periodic checkpoint captures
+	CheckpointBytes  int64     // blob bytes captured
+	CheckpointCycles sim.Cycle // capture stalls charged to the run
+	FaultsInjected   int       // fault-plan events applied
+	NodesLost        int       // nodes killed by the plan
+	Recoveries       int       // rollback-recovery rounds performed
+	LostIterations   int64     // node-iterations of discarded (re-executed) work
+	RecoveryCycles   sim.Cycle // detection + restore stalls charged
+	RepartitionBytes int64     // shard bytes migrated to new owners on recovery
 
 	PerNode []NodeStats
 	// NMP holds the per-node replay results (index = node).
@@ -246,7 +296,24 @@ func Simulate(reads []readsim.Read, tr *trace.Trace, cfg Config) (*Result, error
 	// RebalancePartitioner switches to the dynamic-ownership runtime
 	// (rebalance.go), which re-shards between iterations.
 	var co *compactOutcome
-	if rp, ok := cfg.Partitioner.(*RebalancePartitioner); ok {
+	if cfg.elastic() {
+		eo, err := runElastic(tr, net, cfg, res, pr)
+		if err != nil {
+			return nil, err
+		}
+		co = &eo.compactOutcome
+		res.HaloBytes = eo.HaloBytes
+		res.RemoteTNFrac = remoteTNFrac(eo.LocalTNs, eo.RemoteTNs)
+		res.Checkpoints = eo.Checkpoints
+		res.CheckpointBytes = eo.CheckpointBytes
+		res.CheckpointCycles = eo.CheckpointCycles
+		res.FaultsInjected = eo.FaultsInjected
+		res.NodesLost = eo.NodesLost
+		res.Recoveries = eo.Recoveries
+		res.LostIterations = eo.LostIterations
+		res.RecoveryCycles = eo.RecoveryCycles
+		res.RepartitionBytes = eo.RepartitionBytes
+	} else if rp, ok := cfg.Partitioner.(*RebalancePartitioner); ok {
 		ro, err := runRebalanced(tr, net, cfg, rp, pr)
 		if err != nil {
 			return nil, err

@@ -215,6 +215,69 @@ func (pr *probes) bspStart(compute, exchange sim.Cycle, executed, iters int, lb,
 	return pr.base + compute + exchange + sim.Cycle(executed)*(lb+sb)
 }
 
+// instant drops a zero-length marker span on the runtime track (exported
+// to Chrome traces as an instant event).
+func (pr *probes) instant(kind telemetry.SpanKind, at sim.Cycle, a1, a2 int64) {
+	pr.phases.Add(kind, at, at, a1, a2)
+}
+
+// liveStall is stall restricted to the live nodes of an elastic run: dead
+// engines record nothing (their tracks simply end at the iteration they
+// died in).
+func (pr *probes) liveStall(kind telemetry.SpanKind, it int, gnow, d sim.Cycle, bytes int64, live []bool) {
+	if d <= 0 {
+		return
+	}
+	pr.phases.Add(kind, gnow, gnow+d, int64(it), bytes)
+	for i := range pr.node {
+		if live[i] {
+			pr.node[i].Add(kind, gnow, gnow+d, int64(it), 0)
+		}
+	}
+}
+
+// liveCompute is superstepCompute restricted to live nodes.
+func (pr *probes) liveCompute(it int, gnow sim.Cycle, durs []sim.Cycle, live []bool, max sim.Cycle) {
+	for i := range pr.node {
+		if !live[i] {
+			continue
+		}
+		pr.placeIter(i, it, gnow)
+		if durs[i] < max {
+			pr.node[i].Add(telemetry.SpanIdle, gnow+durs[i], gnow+max, int64(it), 0)
+		}
+	}
+	if max > 0 {
+		pr.phases.Add(telemetry.SpanCompute, gnow, gnow+max, int64(it), 0)
+	}
+}
+
+// probeMark captures the recording position across every track and the
+// dependency stream, so a speculative window (an elastic overlapped
+// segment) can be rewound when a fault discards its work.
+type probeMark struct {
+	tracks []int
+	deps   int
+}
+
+func (pr *probes) mark() probeMark {
+	ts := pr.c.Tracks()
+	m := probeMark{tracks: make([]int, len(ts)), deps: pr.c.NumDeps()}
+	for i, t := range ts {
+		m.tracks[i] = t.Len()
+	}
+	return m
+}
+
+func (pr *probes) rewind(m probeMark) {
+	for i, t := range pr.c.Tracks() {
+		if i < len(m.tracks) {
+			t.Truncate(m.tracks[i])
+		}
+	}
+	pr.c.TruncateDeps(m.deps)
+}
+
 // seal records the end-of-run event-loop counters.
 func (pr *probes) seal() {
 	var ev int64

@@ -92,6 +92,22 @@ const (
 	// SpanCheckpoint is an instant marker: a checkpoint blob was captured
 	// at this point. Arg1 = resume iteration.
 	SpanCheckpoint
+	// SpanFault is an instant marker: a fault event was injected.
+	// Arg1 = affected node (the dying node, or the Src of a link event),
+	// Arg2 = fault.Kind.
+	SpanFault
+	// SpanDetect is the failure-detection window charged before the
+	// runtime acts on a node loss (heartbeat timeout, membership
+	// agreement). Arg1 = the iteration boundary where the loss surfaced,
+	// Arg2 = the dead node.
+	SpanDetect
+	// SpanRestore is the survivors reloading the recovery checkpoint.
+	// Arg1 = resume iteration, Arg2 = blob bytes.
+	SpanRestore
+	// SpanRepartition is the recovery migration: the dead node's shard
+	// re-partitioned across survivors over the (degraded) interconnect.
+	// Arg1 = resume iteration, Arg2 = migrated bytes. Counted as comm.
+	SpanRepartition
 )
 
 // String names the span kind (used as the Chrome-trace event name).
@@ -119,15 +135,26 @@ func (k SpanKind) String() string {
 		return "bus"
 	case SpanCheckpoint:
 		return "checkpoint"
+	case SpanFault:
+		return "fault"
+	case SpanDetect:
+		return "detect"
+	case SpanRestore:
+		return "restore"
+	case SpanRepartition:
+		return "repartition"
 	}
 	return "span"
 }
 
 // comm reports whether the kind counts as interconnect time in the
 // comm-fraction accounting (mirrors scaleout's CommCycles: exchanges,
-// link barriers and migrations; the NMP sync barrier stays out).
+// link barriers, migrations and recovery re-partitions; the NMP sync
+// barrier, detection and restore windows stay out — they are protocol
+// overhead, not interconnect occupancy).
 func (k SpanKind) comm() bool {
-	return k == SpanExchangeWait || k == SpanLinkBarrier || k == SpanMigration
+	return k == SpanExchangeWait || k == SpanLinkBarrier || k == SpanMigration ||
+		k == SpanRepartition
 }
 
 // Span is one recorded time window [Start, End) on a track.
@@ -156,6 +183,16 @@ func (t *Track) Add(kind SpanKind, start, end sim.Cycle, a1, a2 int64) {
 // Len returns the number of recorded spans (used with ShiftTail to
 // re-base a batch recorded on a local clock).
 func (t *Track) Len() int { return len(t.Spans) }
+
+// Truncate drops every span from index n on: the rollback step for a
+// speculative recording window that a fault discarded (the elastic
+// overlapped runtime records a whole inter-checkpoint segment, then
+// rewinds it when a node loss invalidates the segment's work).
+func (t *Track) Truncate(n int) {
+	if n < len(t.Spans) {
+		t.Spans = t.Spans[:n]
+	}
+}
 
 // ShiftTail adds delta to every span from index `from` on: the
 // local-to-global re-basing step for spans recorded on a node engine's
@@ -251,6 +288,18 @@ func (c *Collector) AddDep(node, iter int, bound Bound, src int) {
 
 // Deps returns the recorded dependency stream.
 func (c *Collector) Deps() []Dep { return c.deps }
+
+// NumDeps returns the number of recorded dependencies (the counterpart of
+// Track.Len for TruncateDeps-based rollback).
+func (c *Collector) NumDeps() int { return len(c.deps) }
+
+// TruncateDeps drops every dependency from index n on — the rollback step
+// for a speculative recording window, paired with Track.Truncate.
+func (c *Collector) TruncateDeps(n int) {
+	if n < len(c.deps) {
+		c.deps = c.deps[:n]
+	}
+}
 
 // AddCounter records one named scalar.
 func (c *Collector) AddCounter(name string, v int64) {

@@ -77,7 +77,12 @@ type Flight struct {
 	// (routes are static for the network's lifetime); in-flight message
 	// closures borrow the cached slices.
 	routes [][]int
-	pr     *Probe
+	// slow holds per-link occupancy multipliers when the network is a
+	// Degraded wrapper with degraded links; nil (every healthy network,
+	// and a Degraded one nothing has happened to yet) keeps the hot path
+	// a single branch.
+	slow []float64
+	pr   *Probe
 }
 
 // Probe mirrors every link reservation a Flight makes onto telemetry
@@ -99,10 +104,13 @@ func (p *Probe) record(link int, start, end sim.Cycle, b int64, req sim.Cycle) {
 // SetProbe attaches (or, with nil, detaches) a link-occupancy probe.
 func (f *Flight) SetProbe(p *Probe) { f.pr = p }
 
-// NewFlight prepares a Flight over net scheduling on eng.
+// NewFlight prepares a Flight over net scheduling on eng. A Degraded
+// network's per-link slowdowns are captured here, so the Flight must be
+// created after the degradation events it should observe (the scaleout
+// runtime builds a fresh Flight per exchange or schedule segment).
 func NewFlight(net Network, eng *sim.Engine) *Flight {
 	n := net.Nodes()
-	return &Flight{
+	f := &Flight{
 		net:    net,
 		eng:    eng,
 		n:      n,
@@ -111,6 +119,23 @@ func NewFlight(net Network, eng *sim.Engine) *Flight {
 		free:   make([]sim.Cycle, net.NumLinks()),
 		routes: make([][]int, n*n),
 	}
+	if d, ok := net.(*Degraded); ok {
+		f.slow = d.slowdowns()
+	}
+	return f
+}
+
+// linkDur scales the base store-and-forward occupancy by link l's
+// degradation multiplier; the nil fast path keeps healthy networks
+// cycle-exact and branch-cheap.
+func (f *Flight) linkDur(l int, dur sim.Cycle) sim.Cycle {
+	if f.slow == nil {
+		return dur
+	}
+	if s := f.slow[l]; s != 1 {
+		return sim.Cycle(float64(dur) * s)
+	}
+	return dur
 }
 
 // route returns the (cached) minimal route from src to dst.
@@ -140,11 +165,12 @@ func (f *Flight) Send(src, dst int, b int64, deliver func()) {
 	if req > slot {
 		slot = req
 	}
-	f.free[path[0]] = slot + dur
+	d0 := f.linkDur(path[0], dur)
+	f.free[path[0]] = slot + d0
 	if f.pr != nil {
-		f.pr.record(path[0], slot, slot+dur, b, req)
+		f.pr.record(path[0], slot, slot+d0, b, req)
 	}
-	f.hop(path, 1, slot+dur, dur, b, deliver)
+	f.hop(path, 1, slot+d0, dur, b, deliver)
 }
 
 // hop advances the message past link h-1 (released at prevEnd): it either
@@ -162,11 +188,12 @@ func (f *Flight) hop(path []int, h int, prevEnd, dur sim.Cycle, b int64, deliver
 		if req > slot {
 			slot = req
 		}
-		f.free[l] = slot + dur
+		ld := f.linkDur(l, dur)
+		f.free[l] = slot + ld
 		if f.pr != nil {
-			f.pr.record(l, slot, slot+dur, b, req)
+			f.pr.record(l, slot, slot+ld, b, req)
 		}
-		f.hop(path, h+1, slot+dur, dur, b, deliver)
+		f.hop(path, h+1, slot+ld, dur, b, deliver)
 	})
 }
 

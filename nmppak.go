@@ -21,6 +21,7 @@ import (
 	"nmppak/internal/compact"
 	"nmppak/internal/cpumodel"
 	"nmppak/internal/dna"
+	"nmppak/internal/fault"
 	"nmppak/internal/genome"
 	"nmppak/internal/gpumodel"
 	"nmppak/internal/kmer"
@@ -30,6 +31,7 @@ import (
 	"nmppak/internal/readsim"
 	"nmppak/internal/report"
 	"nmppak/internal/scaleout"
+	"nmppak/internal/sim"
 	"nmppak/internal/telemetry"
 	"nmppak/internal/topo"
 	"nmppak/internal/trace"
@@ -131,6 +133,21 @@ type (
 	// TelemetryCPEntry is one iteration of the critical-path attribution:
 	// the node whose compute bounded it and the wait that preceded it.
 	TelemetryCPEntry = telemetry.CPEntry
+	// Cycle is the simulator's time unit (one NMP core clock).
+	Cycle = sim.Cycle
+	// FaultPlan is a deterministic fault schedule for one scale-out run:
+	// node losses, link degradations and link outages pinned to chosen
+	// compaction-phase cycles, plus the failure-detection latency. Attach
+	// one to ScaleOutConfig.Faults (usually with ScaleOutConfig.
+	// CheckpointEvery set) and the elastic runtime detects losses at
+	// iteration boundaries, restores the survivors from the last periodic
+	// checkpoint, re-partitions the dead shard and finishes the run with
+	// the global output conserved.
+	FaultPlan = fault.Plan
+	// FaultEvent is one scheduled fault of a FaultPlan.
+	FaultEvent = fault.Event
+	// FaultKind classifies a FaultEvent (node loss, link degrade/outage).
+	FaultKind = fault.Kind
 )
 
 // ScaleOutCheckpointVersion is the checkpoint blob format version this
@@ -142,6 +159,19 @@ const (
 	TopoFullMesh  = topo.FullMesh
 	TopoTorus2D   = topo.Torus2D
 	TopoDragonfly = topo.Dragonfly
+)
+
+// Fault event kinds for FaultEvent.Kind.
+const (
+	// FaultNodeLoss kills a node; the elastic runtime recovers the run on
+	// the survivors.
+	FaultNodeLoss = fault.NodeLoss
+	// FaultLinkDegrade multiplies the bandwidth of every link on the
+	// minimal Src -> Dst route by Factor.
+	FaultLinkDegrade = fault.LinkDegrade
+	// FaultLinkOutage removes the minimal Src -> Dst route's links; later
+	// traffic detours around the cut.
+	FaultLinkOutage = fault.LinkOutage
 )
 
 // GenerateGenome synthesizes a reference genome.
@@ -257,6 +287,12 @@ func RestoreScaleOut(tr *Trace, cfg ScaleOutConfig, blob []byte) (*ScaleOutResul
 // inspection (resume iteration, recorded state) without restoring it.
 func UnmarshalScaleOutCheckpoint(blob []byte) (*ScaleOutCheckpoint, error) {
 	return scaleout.UnmarshalCheckpoint(blob)
+}
+
+// NodeLossAt returns the common single-event fault plan: node dies at the
+// given compaction-phase cycle, acted on after a detect-cycle latency.
+func NodeLossAt(node int, cycle, detect Cycle) *FaultPlan {
+	return fault.NodeLossAt(node, cycle, detect)
 }
 
 // NewMinimizerPartitioner returns a minimizer partitioner with m-mer
