@@ -85,3 +85,19 @@ func BenchmarkScaleOut8xTorus(b *testing.B) { benchsuite.Run(b, "ScaleOut8xTorus
 // BenchmarkScaleOut8xDragonfly measures the BSP machine on a dragonfly
 // (all-to-all groups, per-group-pair global channels).
 func BenchmarkScaleOut8xDragonfly(b *testing.B) { benchsuite.Run(b, "ScaleOut8xDragonfly") }
+
+// BenchmarkScaleOut64xMeshParallel measures the 64-node overlapped
+// machine under the conservative-PDES parallel runtime on a full mesh,
+// reporting speedup_vs_serial against a Workers=1 anchor run off the
+// clock (and failing unless both produce identical results).
+func BenchmarkScaleOut64xMeshParallel(b *testing.B) { benchsuite.Run(b, "ScaleOut64xMeshParallel") }
+
+// BenchmarkScaleOut64xTorusParallel is the parallel-runtime bench on the
+// routed 8x8 torus.
+func BenchmarkScaleOut64xTorusParallel(b *testing.B) { benchsuite.Run(b, "ScaleOut64xTorusParallel") }
+
+// BenchmarkScaleOut64xDragonflyParallel is the parallel-runtime bench on
+// the dragonfly.
+func BenchmarkScaleOut64xDragonflyParallel(b *testing.B) {
+	benchsuite.Run(b, "ScaleOut64xDragonflyParallel")
+}

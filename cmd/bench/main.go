@@ -15,6 +15,13 @@
 // do not gate:
 //
 //	go run ./cmd/bench -check BENCH_PR4.json -out BENCH_PR6.json
+//
+// -cpuprofile and -memprofile write pprof profiles covering the selected
+// benchmark bodies (the CPU profile spans every testing.Benchmark call;
+// the heap profile is a snapshot after the last one):
+//
+//	go run ./cmd/bench -bench Fig5Breakdown -cpuprofile cpu.out
+//	go tool pprof cpu.out
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"testing"
 	"time"
@@ -62,6 +70,8 @@ func main() {
 	check := flag.String("check", "", "baseline JSON `file` to gate against; exit 1 on geomean ns/op regression beyond -check-threshold")
 	checkThreshold := flag.Float64("check-threshold", 0.10, "allowed geomean slowdown vs. the -check baseline (0.10 = 10%)")
 	list := flag.Bool("list", false, "list benchmark names and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering the benchmark runs to `file`")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the benchmark runs to `file`")
 	testing.Init()
 	flag.Parse()
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
@@ -90,6 +100,20 @@ func main() {
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		BenchTime:  *benchtime,
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		// Stopped explicitly after the benchmark loop: the later exit
+		// paths use os.Exit, which would skip a deferred flush.
+		defer f.Close()
 	}
 	failed := false
 	for _, c := range suite {
@@ -121,6 +145,22 @@ func main() {
 		base.Benchmarks = append(base.Benchmarks, rec)
 		fmt.Printf("%-24s %12.0f ns/op %12d B/op %10d allocs/op\n",
 			c.Name, rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp)
+	}
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 
 	buf, err := json.MarshalIndent(base, "", "  ")

@@ -9,8 +9,10 @@ package benchsuite
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	"nmppak/internal/cpumodel"
 	"nmppak/internal/experiments"
@@ -91,6 +93,9 @@ func Suite() []Case {
 		{"ScaleOut8xOverlap", benchScaleOut8xOverlap},
 		{"ScaleOut8xTorus", benchScaleOut8xTorus},
 		{"ScaleOut8xDragonfly", benchScaleOut8xDragonfly},
+		{"ScaleOut64xMeshParallel", benchScaleOut64xMeshParallel},
+		{"ScaleOut64xTorusParallel", benchScaleOut64xTorusParallel},
+		{"ScaleOut64xDragonflyParallel", benchScaleOut64xDragonflyParallel},
 	}
 }
 
@@ -380,6 +385,61 @@ func benchScaleOut8xOverlap(b *testing.B) { benchScaleOut8x(b, true, topo.Defaul
 func benchScaleOut8xTorus(b *testing.B) { benchScaleOut8x(b, false, topo.Torus(0, 0)) }
 
 func benchScaleOut8xDragonfly(b *testing.B) { benchScaleOut8x(b, false, topo.DragonflyGroups(0)) }
+
+// benchScaleOut64xParallel measures the conservative-PDES runtime on the
+// 64-node overlapped machine. A Workers=1 run — the sequential scheduler,
+// regardless of GOMAXPROCS — is timed off the benchmark clock as the
+// anchor; the timed loop runs with Workers=0 (one worker per GOMAXPROCS
+// thread) and the ratio is published as speedup_vs_serial. Cycle-exactness
+// is part of the bench contract: the parallel result must be identical to
+// the anchor or the benchmark fails. The ratio is only meaningful when
+// GOMAXPROCS is backed by real cores; on a single-core host the gate
+// (par.Threads(0)==1) routes both runs through the serial scheduler and
+// the ratio hovers near 1.
+func benchScaleOut64xParallel(b *testing.B, tc topo.Config) {
+	c, t := setup()
+	cfg := scaleout.DefaultConfig(64)
+	cfg.K = c.W.K
+	cfg.MinCount = c.W.MinCount
+	cfg.Overlap = true
+	cfg.Topo = tc
+
+	scfg := cfg
+	scfg.Workers = 1
+	start := time.Now()
+	want, err := scaleout.Simulate(c.Reads, t, scfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	serial := time.Since(start)
+
+	cfg.Workers = 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last *scaleout.Result
+	for i := 0; i < b.N; i++ {
+		res, err := scaleout.Simulate(c.Reads, t, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	if !reflect.DeepEqual(last, want) {
+		b.Fatal("parallel result diverges from the serial anchor")
+	}
+	per := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(float64(serial.Nanoseconds())/per, "speedup_vs_serial")
+	b.ReportMetric(float64(last.TotalCycles), "model_cycles")
+}
+
+func benchScaleOut64xMeshParallel(b *testing.B) { benchScaleOut64xParallel(b, topo.Default()) }
+
+func benchScaleOut64xTorusParallel(b *testing.B) { benchScaleOut64xParallel(b, topo.Torus(0, 0)) }
+
+func benchScaleOut64xDragonflyParallel(b *testing.B) {
+	benchScaleOut64xParallel(b, topo.DragonflyGroups(0))
+}
 
 func benchRadixSort1M(b *testing.B) {
 	r := rand.New(rand.NewSource(3))

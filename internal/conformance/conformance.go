@@ -28,6 +28,7 @@ import (
 	"nmppak/internal/kmer"
 	"nmppak/internal/readsim"
 	"nmppak/internal/scaleout"
+	"nmppak/internal/telemetry"
 	"nmppak/internal/topo"
 	"nmppak/internal/trace"
 )
@@ -216,6 +217,107 @@ func Verify(fx *Fixture, c Case) error {
 	}
 	if !reflect.DeepEqual(got, want) {
 		return fmt.Errorf("%s: restored result differs from uninterrupted run: %s", c.Name(), diffSummary(got, want))
+	}
+	return nil
+}
+
+// ParallelMatrix enumerates the serial-vs-parallel equivalence sweep:
+// every topology, both disciplines, the given node counts (the hash
+// partitioner keeps the sweep's cost on the runtime under test rather
+// than on partitioning variety — VerifyParallel holds for any).
+func ParallelMatrix(nodes []int) []Case {
+	var cases []Case
+	for _, kind := range []topo.Kind{topo.FullMesh, topo.Torus2D, topo.Dragonfly} {
+		for _, overlap := range []bool{false, true} {
+			for _, n := range nodes {
+				cases = append(cases, Case{Topo: kind, Overlap: overlap, Part: PartHash, Nodes: n, At: -1})
+			}
+		}
+	}
+	return cases
+}
+
+// VerifyParallel asserts that the conservative-PDES parallel runtime is
+// indistinguishable from the serial one on a cell, beyond wall-clock:
+//
+//  1. Result equivalence: Workers=1 and Workers=workers runs produce
+//     bit-identical Results (reflect.DeepEqual, floats included).
+//  2. Telemetry equivalence: both runs export byte-identical Chrome
+//     traces — every span, on every node/DRAM/link track, lands at the
+//     same cycle with the same payload in the same order.
+//  3. Checkpoint equivalence: blobs captured under either worker count
+//     are byte-identical, and a blob captured under one mode restored
+//     under the other (both directions) resumes to the serial Result.
+func VerifyParallel(fx *Fixture, c Case, workers int) error {
+	cfg, err := c.Config(fx)
+	if err != nil {
+		return err
+	}
+	if !c.Valid() {
+		return nil
+	}
+	name := fmt.Sprintf("%s/w%d", c.Name(), workers)
+
+	run := func(w int) (*scaleout.Result, []byte, error) {
+		rcfg := cfg
+		rcfg.Workers = w
+		rcfg.Telemetry = telemetry.New()
+		res, err := scaleout.Simulate(fx.Reads, fx.Trace, rcfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		var buf bytes.Buffer
+		if err := rcfg.Telemetry.WriteChrome(&buf); err != nil {
+			return nil, nil, err
+		}
+		return res, buf.Bytes(), nil
+	}
+	serial, strace, err := run(1)
+	if err != nil {
+		return fmt.Errorf("%s: serial run: %w", name, err)
+	}
+	parallel, ptrace, err := run(workers)
+	if err != nil {
+		return fmt.Errorf("%s: parallel run: %w", name, err)
+	}
+	if !reflect.DeepEqual(parallel, serial) {
+		return fmt.Errorf("%s: parallel result differs from serial: %s", name, diffSummary(parallel, serial))
+	}
+	if !bytes.Equal(ptrace, strace) {
+		return fmt.Errorf("%s: telemetry traces diverge (%d vs %d bytes)", name, len(ptrace), len(strace))
+	}
+
+	// Checkpoint identity and cross-mode restore at the cell's boundary.
+	at := c.At
+	if at < 0 {
+		at = len(fx.Trace.Iterations) / 2
+	}
+	scfg, pcfg := cfg, cfg
+	scfg.Workers, pcfg.Workers = 1, workers
+	sblob, err := scaleout.Checkpoint(fx.Reads, fx.Trace, scfg, at)
+	if err != nil {
+		return fmt.Errorf("%s: serial checkpoint: %w", name, err)
+	}
+	pblob, err := scaleout.Checkpoint(fx.Reads, fx.Trace, pcfg, at)
+	if err != nil {
+		return fmt.Errorf("%s: parallel checkpoint: %w", name, err)
+	}
+	if !bytes.Equal(sblob, pblob) {
+		return fmt.Errorf("%s: checkpoint blobs diverge across worker counts (%d vs %d bytes)", name, len(sblob), len(pblob))
+	}
+	fromParallel, err := scaleout.Restore(fx.Trace, scfg, pblob)
+	if err != nil {
+		return fmt.Errorf("%s: serial restore of parallel-captured blob: %w", name, err)
+	}
+	if !reflect.DeepEqual(fromParallel, serial) {
+		return fmt.Errorf("%s: parallel-captured blob restored serially diverges: %s", name, diffSummary(fromParallel, serial))
+	}
+	fromSerial, err := scaleout.Restore(fx.Trace, pcfg, sblob)
+	if err != nil {
+		return fmt.Errorf("%s: parallel restore of serial-captured blob: %w", name, err)
+	}
+	if !reflect.DeepEqual(fromSerial, serial) {
+		return fmt.Errorf("%s: serial-captured blob restored in parallel diverges: %s", name, diffSummary(fromSerial, serial))
 	}
 	return nil
 }

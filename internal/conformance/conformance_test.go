@@ -84,3 +84,26 @@ func TestCheckpointIterationSweep(t *testing.T) {
 		}
 	}
 }
+
+// TestParallelMatrix sweeps the serial-vs-parallel equivalence matrix:
+// topology × discipline × node count, asserting bit-identical Results,
+// byte-identical telemetry traces, byte-identical checkpoint blobs and
+// cross-mode (parallel-captured/serially-restored and vice versa) resume
+// equivalence for Workers ∈ {1, 4}. In -short mode only the 4-node
+// column runs; the full sweep includes the 64-node column the speedup
+// benchmarks target.
+func TestParallelMatrix(t *testing.T) {
+	f := fixture(t)
+	nodes := []int{1, 4, 8, 64}
+	if testing.Short() {
+		nodes = []int{4}
+	}
+	for _, c := range ParallelMatrix(nodes) {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			if err := VerifyParallel(f, c, 4); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -140,12 +140,37 @@ func (q Seq) Append(b Base) Seq {
 // Concat returns the concatenation q+r as a fresh sequence.
 func (q Seq) Concat(r Seq) Seq {
 	out := Seq{w: make([]uint64, (q.n+r.n+31)/32), n: q.n + r.n}
-	copy(out.w, q.w)
-	for i := 0; i < r.n; i++ {
-		j := q.n + i
-		out.w[j/32] |= uint64(r.At(i)) << (2 * uint(j%32))
+	copy(out.w, q.w[:(q.n+31)/32])
+	if rem := q.n % 32; rem != 0 {
+		out.w[q.n/32] &= (uint64(1) << (2 * uint(rem))) - 1
 	}
+	blitPacked(out.w, q.n, r.w, r.n)
 	return out
+}
+
+// blitPacked ORs the first n bases of src into dst starting at base
+// position `at`, whole words at a time. dst must be zero from bit 2*at
+// on; bits of src at or past 2*n may hold garbage (they are masked off).
+func blitPacked(dst []uint64, at int, src []uint64, n int) {
+	if n == 0 {
+		return
+	}
+	sw := (n + 31) / 32
+	tail := ^uint64(0)
+	if rem := n % 32; rem != 0 {
+		tail = (uint64(1) << (2 * uint(rem))) - 1
+	}
+	wi, off := at/32, uint(2*(at%32))
+	for i := 0; i < sw; i++ {
+		v := src[i]
+		if i == sw-1 {
+			v &= tail
+		}
+		dst[wi+i] |= v << off
+		if off != 0 && wi+i+1 < len(dst) {
+			dst[wi+i+1] |= v >> (64 - off)
+		}
+	}
 }
 
 // Slice returns the subsequence [lo, hi) as a fresh sequence.
@@ -153,10 +178,25 @@ func (q Seq) Slice(lo, hi int) Seq {
 	if lo < 0 || hi > q.n || lo > hi {
 		panic(fmt.Sprintf("dna: slice [%d,%d) out of range [0,%d]", lo, hi, q.n))
 	}
-	out := Seq{w: make([]uint64, (hi-lo+31)/32), n: hi - lo}
-	for i := lo; i < hi; i++ {
-		j := i - lo
-		out.w[j/32] |= uint64(q.At(i)) << (2 * uint(j%32))
+	n := hi - lo
+	out := Seq{w: make([]uint64, (n+31)/32), n: n}
+	if n == 0 {
+		return out
+	}
+	wi, shift := lo/32, uint(2*(lo%32))
+	if shift == 0 {
+		copy(out.w, q.w[wi:wi+len(out.w)])
+	} else {
+		for i := range out.w {
+			v := q.w[wi+i] >> shift
+			if wi+i+1 < len(q.w) {
+				v |= q.w[wi+i+1] << (64 - shift)
+			}
+			out.w[i] = v
+		}
+	}
+	if rem := n % 32; rem != 0 {
+		out.w[len(out.w)-1] &= (uint64(1) << (2 * uint(rem))) - 1
 	}
 	return out
 }

@@ -111,6 +111,48 @@ func TestSeqConcatSlice(t *testing.T) {
 	}
 }
 
+// TestSeqConcatSliceWordBoundaries drives the word-level blit paths of
+// Concat and Slice across multi-word sequences and every alignment of the
+// 32-base word boundary, including operands whose packed tail words carry
+// garbage bits (allowed by Equal's masking, so the blits must mask too).
+func TestSeqConcatSliceWordBoundaries(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		a := randSeqString(r, r.Intn(200))
+		b := randSeqString(r, r.Intn(200))
+		qa, qb := MustParseSeq(a), MustParseSeq(b)
+		// Poison the unused tail bits: results must be unaffected.
+		if rem := qa.n % 32; rem != 0 {
+			qa.w[len(qa.w)-1] |= ^((uint64(1) << (2 * uint(rem))) - 1)
+		}
+		if rem := qb.n % 32; rem != 0 {
+			qb.w[len(qb.w)-1] |= ^((uint64(1) << (2 * uint(rem))) - 1)
+		}
+		cat := qa.Concat(qb)
+		if cat.String() != a+b {
+			t.Fatalf("concat len %d+%d diverges from reference", len(a), len(b))
+		}
+		if !cat.Equal(MustParseSeq(a + b)) {
+			t.Fatalf("concat len %d+%d not Equal to parsed reference", len(a), len(b))
+		}
+		if n := len(a + b); n > 0 {
+			lo := r.Intn(n)
+			hi := lo + r.Intn(n-lo)
+			sl := cat.Slice(lo, hi)
+			if sl.String() != (a + b)[lo:hi] {
+				t.Fatalf("slice[%d:%d] diverges from reference", lo, hi)
+			}
+			// The fresh slice must have clean tail bits (other word-level
+			// consumers rely on the masking).
+			if rem := sl.n % 32; rem != 0 && len(sl.w) > 0 {
+				if sl.w[len(sl.w)-1]&^((uint64(1)<<(2*uint(rem)))-1) != 0 {
+					t.Fatalf("slice[%d:%d] left garbage tail bits", lo, hi)
+				}
+			}
+		}
+	}
+}
+
 func TestSeqCmpMatchesStringCompare(t *testing.T) {
 	// Under the custom alphabet order A<C<T<G, Seq.Cmp must match string
 	// comparison of the code-mapped strings.

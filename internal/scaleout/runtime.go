@@ -61,6 +61,13 @@ type runtime struct {
 	engines   []*nmp.Engine
 	durations [][]sim.Cycle
 
+	// Parallel (conservative-PDES) execution state, zero on the serial
+	// path: windowed marks the run, stepped is the first iteration the
+	// window driver has NOT yet pre-stepped (uniform across nodes — the
+	// synchronous protocol advances every node one iteration per round).
+	windowed bool
+	stepped  int
+
 	// BSP partial sums over iterations [0, start) (zero for fresh runs;
 	// bspAdvance accumulates into them).
 	compute        sim.Cycle
@@ -122,11 +129,18 @@ func (rt *runtime) step(i int) sim.Cycle {
 	return d
 }
 
-// run executes the compaction phase under the configured discipline.
+// run executes the compaction phase under the configured discipline. An
+// overlapped run takes the conservative-PDES parallel path when the
+// machine and host shape support it (see parallelOK); BSP supersteps
+// already fan their engine stepping out across workers.
 func (rt *runtime) run() *compactOutcome {
 	var out *compactOutcome
 	if rt.cfg.Overlap {
-		out = rt.runOverlapped()
+		if rt.parallelOK() {
+			out = rt.runOverlappedParallel()
+		} else {
+			out = rt.runOverlapped()
+		}
 	} else {
 		out = rt.runBSP()
 	}
@@ -243,6 +257,19 @@ type ovNode struct {
 // local chain (what a zero-cost interconnect would yield) and Exchange =
 // the communication time the schedule failed to hide.
 func (rt *runtime) runOverlapped() *compactOutcome {
+	return rt.runOverlappedWith(nil)
+}
+
+// runOverlappedWith is runOverlapped with an optional window driver: when
+// windows is non-nil it is handed the global engine after the iteration-0
+// events are seeded and owns the interleaving of engine pre-stepping with
+// bounded event-loop advancement (runtime_parallel.go); the closing Run
+// drains whatever the driver left pending. The macro schedule — every
+// event closure, in creation order — is byte-for-byte the serial one
+// either way, which is what makes the parallel mode cycle-exact: the
+// event kernel orders ties by sequence number, and identical closure
+// creation order means identical sequence numbers.
+func (rt *runtime) runOverlappedWith(windows func(g *sim.Engine)) *compactOutcome {
 	out := &compactOutcome{}
 	n, iters := rt.n, rt.iters
 	if iters == 0 {
@@ -364,14 +391,30 @@ func (rt *runtime) runOverlapped() *compactOutcome {
 			// global schedule is a deterministic function of (durations,
 			// halo, topology), so replaying the macro-schedule with the
 			// checkpointed durations reproduces the uninterrupted timeline
-			// exactly while skipping the engine micro-simulation.
+			// exactly while skipping the engine micro-simulation. A
+			// windowed (parallel) run extends the same replay idea to live
+			// iterations: the window driver pre-steps the engines in
+			// parallel, so by the time an iteration begins here its
+			// duration is already recorded and its telemetry buffered.
 			var d sim.Cycle
-			if it < rt.start {
+			switch {
+			case it < rt.start:
 				d = rt.durations[i][it]
 				if pr != nil {
 					pr.placeReplayed(i, it, pr.base+at, d)
 				}
-			} else {
+			case it < rt.stepped:
+				d = rt.durations[i][it]
+				if pr != nil {
+					pr.placeBuffered(i, it, pr.base+at)
+				}
+			default:
+				if rt.windowed {
+					// The lookahead bound admitted an event it must
+					// exclude — a conservative-PDES protocol violation,
+					// never a recoverable condition.
+					panic("scaleout: parallel runtime reached an un-stepped iteration")
+				}
 				d = rt.step(i)
 				if pr != nil {
 					pr.placeIter(i, it, pr.base+at)
@@ -384,6 +427,9 @@ func (rt *runtime) runOverlapped() *compactOutcome {
 	for i := 0; i < n; i++ {
 		nodes[i].started[0] = true
 		begin(i, 0, 0)
+	}
+	if windows != nil {
+		windows(g)
 	}
 	g.Run()
 

@@ -1,0 +1,139 @@
+// Conservative-PDES parallel execution of the overlapped discipline.
+//
+// The serial overlapped runtime (runtime.go) interleaves two very
+// different kinds of work on one event timeline: the heavy per-node
+// engine micro-simulation (rt.step — the DRAM/NMP cycle model) and the
+// light macro schedule (halo flights, dependency resolution). The
+// parallel mode splits them: each node's stepwise nmp.Engine plus its
+// DRAM channels is a logical process that advances on its private
+// sim.Engine, and the macro timeline becomes a window-based synchronous
+// protocol loop —
+//
+//  1. every node pre-steps its next iteration in parallel (goroutine
+//     pool, Config.Workers), recording the iteration duration and
+//     buffering the step's telemetry on its local clock;
+//  2. the scheduler derives a conservative horizon: no event that needs
+//     a still-unknown duration can occur before it (see horizon below,
+//     whose delivery term comes from the topology's MinLatency — the
+//     classic PDES lookahead);
+//  3. the shared macro event loop advances up to that horizon
+//     (sim.Engine.RunUntil), exchanging the halo flights that became
+//     ready and resolving iteration starts, then the next round begins.
+//
+// Because engine iteration durations are schedule-independent (each
+// engine advances on its local back-to-back clock, identical to
+// nmp.Simulate — the same invariant the checkpoint replay path relies
+// on), pre-stepping cannot change any duration, and because the macro
+// loop runs the exact serial closures in the exact serial order, every
+// event sequence number, every Result field, every telemetry span and
+// every checkpoint blob is byte-identical to the serial runtime. The
+// conformance suite pins this across the full topology x discipline x
+// node-count matrix.
+//
+// Fallbacks: one effective worker, a single node, an empty compaction
+// phase, or a zero-lookahead network all take the serial path (BSP
+// supersteps are already worker-parallel; the rebalance and elastic
+// runtimes keep their own serial drivers in v1).
+package scaleout
+
+import (
+	"math"
+
+	"nmppak/internal/par"
+	"nmppak/internal/sim"
+)
+
+// parallelOK reports whether the overlapped compaction replay may take
+// the conservative-PDES path. The result is identical either way; this
+// only gates where the host cycles are spent.
+func (rt *runtime) parallelOK() bool {
+	return par.Threads(rt.cfg.Workers) > 1 &&
+		rt.n > 1 &&
+		rt.iters > rt.start &&
+		rt.net.MinLatency() > 0
+}
+
+// runOverlappedParallel drives the overlapped discipline through the
+// window protocol described in the package comment.
+func (rt *runtime) runOverlappedParallel() *compactOutcome {
+	rt.windowed = true
+	rt.stepped = rt.start
+	if rt.pr != nil {
+		rt.pr.enableBuffer(rt.n, rt.iters)
+	}
+	lat := rt.net.MinLatency()
+	sb := rt.cfg.NMP.SyncBarrierCycles
+	workers := rt.cfg.Workers
+
+	// Chain lower bounds on the macro schedule, per node: every
+	// iteration begins no earlier than its predecessor's begin plus that
+	// predecessor's duration plus the sync barrier (delivery waits only
+	// push it later). lb[i] is the bound on node i's next un-stepped
+	// iteration's begin; le[i] on its last pre-stepped iteration's end.
+	// A restored runtime seeds them from the checkpointed durations.
+	lb := make([]sim.Cycle, rt.n)
+	le := make([]sim.Cycle, rt.n)
+	for i := 0; i < rt.n; i++ {
+		for it := 0; it < rt.start; it++ {
+			le[i] = lb[i] + rt.durations[i][it]
+			lb[i] = le[i] + sb
+		}
+	}
+
+	return rt.runOverlappedWith(func(g *sim.Engine) {
+		for r := rt.start; r < rt.iters; r++ {
+			// Round r: all logical processes advance one iteration in
+			// parallel. Each worker owns node i exclusively for the
+			// step, so the engine, its duration row, its DRAM tracks and
+			// its telemetry scratch stay single-writer.
+			par.ForIdx(rt.n, workers, func(i int) {
+				rt.step(i)
+				if rt.pr != nil {
+					rt.pr.bufferStep(i, r)
+				}
+			})
+			rt.stepped = r + 1
+			for i := 0; i < rt.n; i++ {
+				le[i] = lb[i] + rt.durations[i][r]
+				lb[i] = le[i] + sb
+			}
+			if rt.stepped >= rt.iters {
+				// Every duration is known; the closing Run drains the
+				// macro loop with nothing left to look ahead of.
+				return
+			}
+			g.RunUntil(rt.horizon(r, lat, lb, le))
+		}
+	})
+}
+
+// horizon returns the conservative bound after pre-stepping round r: no
+// macro event that needs iteration r+1's (unknown) duration can occur
+// strictly before it. Node i's iteration r+1 begins at the later of
+//
+//   - its own chain bound lb[i] (previous end + sync barrier), and
+//   - for every halo sender src of iteration r, that sender's finish
+//     bound le[src] plus the network's minimum send-to-delivery latency
+//     (contention and degradation only delay further) — the PDES
+//     lookahead term that lets a node with pending inbound halo run
+//     ahead of a slow sender by the wire latency.
+//
+// The global horizon is the minimum over nodes.
+func (rt *runtime) horizon(r int, lat sim.Cycle, lb, le []sim.Cycle) sim.Cycle {
+	h := sim.Cycle(math.MaxInt64)
+	halo := rt.st.Halo[r]
+	for i := 0; i < rt.n; i++ {
+		bound := lb[i]
+		for src := 0; src < rt.n; src++ {
+			if src != i && halo[src][i] > 0 {
+				if d := le[src] + lat; d > bound {
+					bound = d
+				}
+			}
+		}
+		if bound < h {
+			h = bound
+		}
+	}
+	return h
+}

@@ -1,0 +1,143 @@
+package scaleout
+
+import (
+	"reflect"
+	"testing"
+
+	"nmppak/internal/topo"
+)
+
+// parTestRuntime builds a runtime over a small live trace with the given
+// worker count and overlap discipline.
+func parTestRuntime(t *testing.T, cfg Config, tr *ShardedTrace) *runtime {
+	t.Helper()
+	net, err := cfg.Topo.Build(cfg.Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := newRuntime(tr, net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// TestParallelGate pins when the conservative-PDES path engages: an
+// overlapped multi-node run with more than one effective worker takes it,
+// while Workers==1 and single-node machines fall back to the serial
+// scheduler. The windowed flag doubles as the witness that the parallel
+// driver actually ran (it trips the protocol panic if the serial path
+// were to re-enter stepping).
+func TestParallelGate(t *testing.T) {
+	reads := testReads(t, 12_000)
+	tr := testTrace(t, reads, 32, 3)
+
+	run := func(nodes, workers int, overlap bool) *runtime {
+		cfg := DefaultConfig(nodes)
+		cfg.Overlap = overlap
+		cfg.Workers = workers
+		st := ShardTrace(tr, nodes, cfg.Partitioner)
+		rt := parTestRuntime(t, cfg, st)
+		rt.run()
+		return rt
+	}
+
+	if rt := run(4, 4, true); !rt.windowed {
+		t.Error("overlap/4 nodes/4 workers: serial path taken, want parallel")
+	}
+	if rt := run(4, 1, true); rt.windowed {
+		t.Error("Workers=1: parallel path taken, want serial fallback")
+	}
+	if rt := run(1, 4, true); rt.windowed {
+		t.Error("single node: parallel path taken, want serial fallback")
+	}
+	if rt := run(4, 4, false); rt.windowed {
+		t.Error("BSP: overlapped parallel driver engaged, want superstep fan-out only")
+	}
+}
+
+// TestParallelOutcomeMatchesSerial compares the two overlapped schedulers
+// directly at the runtime layer — same sharded trace, same network —
+// across every topology, including a Degraded wrapper with slowed and cut
+// links (whose MinLatency delegates to the healthy bound).
+func TestParallelOutcomeMatchesSerial(t *testing.T) {
+	reads := testReads(t, 12_000)
+	tr := testTrace(t, reads, 32, 3)
+	const nodes = 8
+
+	topos := map[string]topo.Config{
+		"fullmesh":  topo.Default(),
+		"torus":     topo.Torus(0, 0),
+		"dragonfly": topo.DragonflyGroups(0),
+	}
+	for name, tc := range topos {
+		t.Run(name, func(t *testing.T) {
+			cfg := DefaultConfig(nodes)
+			cfg.Overlap = true
+			cfg.Topo = tc
+			st := ShardTrace(tr, nodes, cfg.Partitioner)
+
+			scfg := cfg
+			scfg.Workers = 1
+			srt := parTestRuntime(t, scfg, st)
+			want := srt.run()
+
+			pcfg := cfg
+			pcfg.Workers = 4
+			prt := parTestRuntime(t, pcfg, st)
+			got := prt.run()
+			if !prt.windowed {
+				t.Fatal("parallel runtime did not take the windowed path")
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("parallel outcome diverges: %+v vs %+v", got.Phase, want.Phase)
+			}
+		})
+	}
+
+	t.Run("degraded", func(t *testing.T) {
+		cfg := DefaultConfig(nodes)
+		cfg.Overlap = true
+		cfg.Topo = topo.Torus(0, 0)
+		st := ShardTrace(tr, nodes, cfg.Partitioner)
+		net, err := cfg.Topo.Build(nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		degrade := func() *topo.Degraded {
+			d := topo.NewDegraded(net)
+			if err := d.Slow(0, 1, 0.5); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.CutRoute(2, 3); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Verify(nil); err != nil {
+				t.Fatal(err)
+			}
+			return d
+		}
+
+		scfg := cfg
+		scfg.Workers = 1
+		srt, err := newRuntime(st, degrade(), scfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := srt.run()
+
+		pcfg := cfg
+		pcfg.Workers = 4
+		prt, err := newRuntime(st, degrade(), pcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := prt.run()
+		if !prt.windowed {
+			t.Fatal("degraded network should still take the parallel path")
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("degraded parallel outcome diverges: %+v vs %+v", got.Phase, want.Phase)
+		}
+	})
+}

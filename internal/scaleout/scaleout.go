@@ -169,6 +169,17 @@ func (c Config) Validate() error {
 	if err := c.Topo.Validate(c.Nodes); err != nil {
 		return err
 	}
+	if c.Overlap && c.Workers > 1 {
+		// An explicitly parallel overlapped run needs a positive
+		// lookahead window: the conservative-PDES scheduler may only
+		// advance nodes ahead of their inbound senders by the network's
+		// minimum send-to-delivery latency. Every current topology has
+		// one (a message crosses at least two serializing links), so
+		// this guards future zero-latency network models.
+		if net, err := c.Topo.Build(c.Nodes); err == nil && net.MinLatency() <= 0 {
+			return fmt.Errorf("scaleout: Workers=%d with Overlap needs a topology with positive MinLatency for conservative lookahead; %s has none", c.Workers, net.Name())
+		}
+	}
 	return c.NMP.Validate()
 }
 

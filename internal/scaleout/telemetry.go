@@ -32,6 +32,20 @@ type stepScratch struct {
 	busDelta   int64     // DRAM bus cycles the step consumed
 }
 
+// stepRec is one buffered engine step of the parallel (windowed) runtime:
+// the bracket state snapshotted on the worker goroutine right after the
+// step, placed onto the global timeline later, when the macro scheduler
+// reaches the iteration. dramFrom/dramTo bracket the step's span batch on
+// each DRAM track so placeBuffered can re-base exactly that batch —
+// later iterations' spans may already sit past dramTo by then, still on
+// their local clock, waiting for their own placement.
+type stepRec struct {
+	start, end sim.Cycle
+	busDelta   int64
+	dramFrom   []int
+	dramTo     []int
+}
+
 type probes struct {
 	c      *telemetry.Collector
 	phases *telemetry.Track     // the runtime's phase schedule
@@ -48,6 +62,10 @@ type probes struct {
 
 	lp      topo.Probe // reusable link-probe header for serial exchanges
 	scratch []stepScratch
+
+	// buf holds the windowed runtime's per-iteration step records,
+	// [node][iteration]; nil on every serial path (enableBuffer sizes it).
+	buf [][]stepRec
 }
 
 // newProbes lays out every track of the run up front, in a fixed order
@@ -159,6 +177,42 @@ func (pr *probes) placeIter(i, it int, gs sim.Cycle) {
 // there is no DRAM attribution to re-base.
 func (pr *probes) placeReplayed(i, it int, gs, d sim.Cycle) {
 	pr.node[i].Add(telemetry.SpanIter, gs, gs+d, int64(it), 0)
+}
+
+// enableBuffer sizes the step buffers for a windowed (parallel) run.
+func (pr *probes) enableBuffer(n, iters int) {
+	pr.buf = make([][]stepRec, n)
+	for i := range pr.buf {
+		pr.buf[i] = make([]stepRec, iters)
+	}
+}
+
+// bufferStep snapshots the just-stepped iteration's bracket state into
+// the node's step buffer. Runs on the worker goroutine that owns node i
+// during a parallel window — it touches only node-i state, preserving the
+// single-writer contract.
+func (pr *probes) bufferStep(i, it int) {
+	s := &pr.scratch[i]
+	r := &pr.buf[i][it]
+	r.start, r.end, r.busDelta = s.start, s.end, s.busDelta
+	r.dramFrom = append(r.dramFrom[:0], s.dramFrom...)
+	r.dramTo = r.dramTo[:0]
+	for _, t := range pr.dram[i] {
+		r.dramTo = append(r.dramTo, t.Len())
+	}
+}
+
+// placeBuffered is placeIter for a pre-stepped iteration: the same spans,
+// the same re-basing delta, but shifting only the buffered step's own
+// span batch (ShiftRange) because the track tail may already hold later
+// pre-stepped iterations. Runs on the single-threaded scheduling path.
+func (pr *probes) placeBuffered(i, it int, gs sim.Cycle) {
+	r := &pr.buf[i][it]
+	delta := gs - r.start
+	for c, t := range pr.dram[i] {
+		t.ShiftRange(r.dramFrom[c], r.dramTo[c], delta)
+	}
+	pr.node[i].Add(telemetry.SpanIter, gs, gs+(r.end-r.start), int64(it), r.busDelta)
 }
 
 // stall records one d-cycle whole-machine wait starting at gnow on the

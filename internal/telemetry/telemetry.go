@@ -207,6 +207,25 @@ func (t *Track) ShiftTail(from int, delta sim.Cycle) {
 	}
 }
 
+// ShiftRange adds delta to the spans in [from, to) only. The parallel
+// runtime re-bases with this instead of ShiftTail: a worker may have
+// appended spans of LATER iterations past `to` before the scheduler gets
+// to re-base this one, and those must keep their local clock until their
+// own placement. Each batch is shifted exactly once, by its own delta, so
+// the result is identical to serial ShiftTail re-basing span for span.
+func (t *Track) ShiftRange(from, to int, delta sim.Cycle) {
+	if delta == 0 {
+		return
+	}
+	if to > len(t.Spans) {
+		to = len(t.Spans)
+	}
+	for i := from; i < to; i++ {
+		t.Spans[i].Start += delta
+		t.Spans[i].End += delta
+	}
+}
+
 // Bound says which dependency gated the start of a node's iteration.
 type Bound uint8
 

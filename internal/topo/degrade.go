@@ -23,7 +23,11 @@
 // state evolves between them.
 package topo
 
-import "fmt"
+import (
+	"fmt"
+
+	"nmppak/internal/sim"
+)
 
 // Degraded wraps a Network with mutable per-link health: bandwidth
 // multipliers and cut links. The zero state (nothing slowed, nothing
@@ -53,6 +57,12 @@ func NewDegraded(net Network) *Degraded {
 // slowdowns exposes the multiplier table to NewFlight (nil while no link
 // has been slowed).
 func (d *Degraded) slowdowns() []float64 { return d.slow }
+
+// MinLatency delegates to the wrapped network. Degradation can only make
+// messages later — Slow multiplies link occupancy by factors >= 1 and cut
+// detours add route links — so the healthy network's lower bound remains
+// a valid lookahead for the degraded one.
+func (d *Degraded) MinLatency() sim.Cycle { return d.Network.MinLatency() }
 
 // checkPair validates a routed channel endpoint pair.
 func (d *Degraded) checkPair(src, dst int) error {

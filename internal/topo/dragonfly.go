@@ -76,3 +76,14 @@ func (d *dragonfly) BarrierCycles() sim.Cycle {
 	}
 	return d.treeBarrier(1)
 }
+
+// MinLatency: with multi-node groups the shortest route is intra-group —
+// a dedicated wire, [egress, ingress] like the full mesh. Single-node
+// groups only route inter-group, and the shortest such route (src is the
+// gateway, dst the landing node) is [egress, global, ingress].
+func (d *dragonfly) MinLatency() sim.Cycle {
+	if d.g > 1 {
+		return d.lat + 2
+	}
+	return 2*d.lat + 3
+}

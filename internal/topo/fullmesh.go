@@ -22,3 +22,7 @@ func (m *fullMesh) AppendRoute(path []int, src, dst int) []int {
 // BarrierCycles keeps the pre-refactor formula: ceil(log2 n) message hops
 // each way, one wire crossing per hop.
 func (m *fullMesh) BarrierCycles() sim.Cycle { return m.treeBarrier(1) }
+
+// MinLatency: every route is exactly [egress, ingress] — two links held
+// for at least one cycle each with one latency transition between them.
+func (m *fullMesh) MinLatency() sim.Cycle { return m.lat + 2 }

@@ -30,6 +30,15 @@ type Network interface {
 	// topology's worst-case unloaded route latency. A single node
 	// synchronizes for free.
 	BarrierCycles() sim.Cycle
+	// MinLatency is a conservative lower bound on send-to-delivery time
+	// for ANY message on ANY route of this network, loaded or not: the
+	// shortest route's link count L (each link occupied >= 1 cycle,
+	// store-and-forward) plus L-1 inter-link latency transitions. It is
+	// the lookahead window of the conservative-PDES parallel runtime — a
+	// node whose inbound neighbors have advanced to cycle t cannot
+	// receive anything before t + MinLatency. Contention and degradation
+	// only delay messages further, so the bound survives both.
+	MinLatency() sim.Cycle
 }
 
 // linkSpec carries the shared per-link parameters and implements the

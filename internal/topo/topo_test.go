@@ -307,3 +307,83 @@ func TestFlightChannelContention(t *testing.T) {
 		t.Fatalf("second delivery at %d, want 805", second)
 	}
 }
+
+// TestMinLatencyIsDeliveryLowerBound checks the PDES lookahead contract
+// empirically: on an unloaded network, no src -> dst message of any size
+// arrives sooner than MinLatency after it is sent, and some pair achieves
+// the bound exactly with a minimal message (the bound is tight, not just
+// safe).
+func TestMinLatencyIsDeliveryLowerBound(t *testing.T) {
+	cases := []struct {
+		cfg Config
+		n   int
+	}{
+		{testLink(FullMesh), 8},
+		{testLink(Torus2D), 8},
+		{Config{Kind: Torus2D, LatencyCycles: 100, BytesPerCycle: 10, TorusX: 4, TorusY: 2}, 8},
+		{testLink(Dragonfly), 8},
+		{Config{Kind: Dragonfly, LatencyCycles: 100, BytesPerCycle: 10, GroupSize: 1}, 4},
+		{Config{Kind: FullMesh, LatencyCycles: 0, BytesPerCycle: 10}, 4},
+	}
+	for _, tc := range cases {
+		net := build(t, tc.cfg, tc.n)
+		min := net.MinLatency()
+		if min <= 0 {
+			t.Fatalf("%s: MinLatency = %d, want > 0", net.Name(), min)
+		}
+		tight := false
+		for src := 0; src < tc.n; src++ {
+			for dst := 0; dst < tc.n; dst++ {
+				if dst == src {
+					continue
+				}
+				var eng sim.Engine
+				f := NewFlight(net, &eng) // fresh flight: unloaded links
+				got := sim.Cycle(-1)
+				f.Send(src, dst, 1, func() { got = eng.Now() })
+				eng.Run()
+				if got < min {
+					t.Fatalf("%s: %d -> %d delivered after %d cycles, below MinLatency %d",
+						net.Name(), src, dst, got, min)
+				}
+				if got == min {
+					tight = true
+				}
+			}
+		}
+		if !tight {
+			t.Errorf("%s: MinLatency %d never achieved — bound is not tight", net.Name(), min)
+		}
+	}
+}
+
+// TestMinLatencyDegraded: the wrapper delegates, and degradation (slowed
+// links, cut detours) never delivers below the healthy bound.
+func TestMinLatencyDegraded(t *testing.T) {
+	net := build(t, testLink(Torus2D), 8)
+	d := NewDegraded(net)
+	if d.MinLatency() != net.MinLatency() {
+		t.Fatalf("degraded MinLatency %d != inner %d", d.MinLatency(), net.MinLatency())
+	}
+	if err := d.Slow(0, 1, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CutRoute(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Verify(nil); err != nil {
+		t.Fatal(err)
+	}
+	min := d.MinLatency()
+	for _, pair := range [][2]int{{0, 1}, {2, 3}, {5, 6}} {
+		var eng sim.Engine
+		f := NewFlight(d, &eng)
+		got := sim.Cycle(-1)
+		f.Send(pair[0], pair[1], 64, func() { got = eng.Now() })
+		eng.Run()
+		if got < min {
+			t.Fatalf("degraded %d -> %d delivered after %d, below MinLatency %d",
+				pair[0], pair[1], got, min)
+		}
+	}
+}

@@ -64,3 +64,7 @@ func (t *torus2D) AppendRoute(path []int, src, dst int) []int {
 func (t *torus2D) BarrierCycles() sim.Cycle {
 	return t.treeBarrier(t.x/2 + t.y/2 + 1)
 }
+
+// MinLatency: the shortest route is to a grid neighbor — egress, one
+// channel, ingress: three links, two latency transitions.
+func (t *torus2D) MinLatency() sim.Cycle { return 2*t.lat + 3 }
