@@ -101,3 +101,22 @@ func BenchmarkScaleOut64xTorusParallel(b *testing.B) { benchsuite.Run(b, "ScaleO
 func BenchmarkScaleOut64xDragonflyParallel(b *testing.B) {
 	benchsuite.Run(b, "ScaleOut64xDragonflyParallel")
 }
+
+// BenchmarkScaleOut64xBSPParallel measures the windowed chunked
+// superstep driver on the 64-node BSP machine (same speedup_vs_serial
+// contract as the overlapped parallel benches, plus a Workers ∈ {2, 4}
+// sweep off the clock).
+func BenchmarkScaleOut64xBSPParallel(b *testing.B) { benchsuite.Run(b, "ScaleOut64xBSPParallel") }
+
+// BenchmarkScaleOut64xRebalanceParallel measures the rebalancing runtime
+// under the parallel scheduler, with migrations bounding every window.
+func BenchmarkScaleOut64xRebalanceParallel(b *testing.B) {
+	benchsuite.Run(b, "ScaleOut64xRebalanceParallel")
+}
+
+// BenchmarkScaleOut64xElasticParallel measures the elastic overlapped
+// runtime — periodic captures plus a mid-phase node loss and recovery —
+// under the parallel scheduler.
+func BenchmarkScaleOut64xElasticParallel(b *testing.B) {
+	benchsuite.Run(b, "ScaleOut64xElasticParallel")
+}

@@ -54,6 +54,7 @@ func main() {
 		restore    = flag.String("restore", "", "resume the scale-out run from this checkpoint `file` and verify against the uninterrupted run")
 		timeline   = flag.String("timeline", "", "capture an instrumented 8-node torus overlapped run and write the Chrome-trace JSON to this `file`")
 		inject     = flag.Bool("inject", false, "with -timeline: kill a node mid-phase (checkpoint cadence 2) so the trace shows the elastic recovery")
+		workers    = flag.Int("workers", 0, "host worker goroutines for the parallel simulation runtimes in every mode (0 = one per core, 1 = serial; results are identical either way)")
 	)
 	flag.Parse()
 	modes := 0
@@ -78,6 +79,9 @@ func main() {
 	}
 	if *scale > 0 {
 		w.GenomeLen = *scale
+	}
+	if *workers != 0 {
+		w.Workers = *workers
 	}
 	ctx, err := experiments.NewContext(w)
 	if err != nil {

@@ -1,15 +1,20 @@
-// Parallel execution: run the same 64-node overlapped scale-out
-// simulation twice — once on the sequential event-driven scheduler
-// (Workers=1) and once on the conservative-PDES parallel runtime
-// (Workers=0, one worker per GOMAXPROCS thread) — and verify the two are
-// cycle-exact: identical Result structs, down to every phase counter.
+// Parallel execution: run the same 64-node scale-out simulation under
+// every runtime discipline — overlapped halo exchange, BSP supersteps,
+// and elastic recovery from a mid-phase node loss — twice each: once on
+// the sequential event-driven scheduler (Workers=1) and once on the
+// conservative-PDES parallel runtime (Workers=0, one worker per
+// GOMAXPROCS thread). Each pair must be cycle-exact: identical Result
+// structs, down to every phase counter.
 //
-// The parallel runtime advances each node's engine on its own goroutine
-// inside windows bounded by the topology's minimum link latency (the
-// lookahead), so it can never need an inbound halo flight that has not
-// been computed yet. Wall-clock speedup therefore comes without any
-// change in simulated behavior; on a single-core host the runtime falls
-// back to the sequential scheduler and the two timings match.
+// The parallel runtime pre-steps each node's engine on the worker pool
+// inside windows bounded by per-pair route latencies (the lookahead
+// matrix), so it can never need an inbound halo flight that has not been
+// computed yet. BSP runs chunk whole supersteps between barriers; the
+// elastic runtime windows each recovery segment on its degraded network,
+// treating checkpoint captures and fault boundaries as window horizons.
+// Wall-clock speedup therefore comes without any change in simulated
+// behavior; on a single-core host the runtime falls back to the
+// sequential scheduler and the two timings match.
 package main
 
 import (
@@ -42,10 +47,13 @@ func main() {
 	}
 
 	const nodes = 64
-	run := func(workers int) (*nmppak.ScaleOutResult, time.Duration) {
+	run := func(workers int, mut func(*nmppak.ScaleOutConfig)) (*nmppak.ScaleOutResult, time.Duration) {
 		cfg := nmppak.DefaultScaleOutConfig(nodes)
 		cfg.Overlap = true
 		cfg.Workers = workers
+		if mut != nil {
+			mut(&cfg)
+		}
 		start := time.Now()
 		res, err := nmppak.SimulateScaleOut(reads, tr, cfg)
 		if err != nil {
@@ -54,24 +62,41 @@ func main() {
 		return res, time.Since(start)
 	}
 
+	// compare runs one discipline serial-then-parallel and enforces the
+	// cycle-exactness contract: every field of the two results — phase
+	// cycle counts, communication fraction, link statistics, assembly
+	// outcome — must be identical. No tolerance.
+	compare := func(name string, mut func(*nmppak.ScaleOutConfig)) {
+		serial, serialWall := run(1, mut) // sequential scheduler
+		parallel, parWall := run(0, mut)  // conservative-PDES, one worker per thread
+		fmt.Printf("%-9s serial %8.1f ms | parallel %8.1f ms | speedup %5.2fx | %d model cycles\n",
+			name, serialWall.Seconds()*1e3, parWall.Seconds()*1e3,
+			serialWall.Seconds()/parWall.Seconds(), parallel.TotalCycles)
+		if !reflect.DeepEqual(serial, parallel) {
+			log.Fatalf("%s: parallel result diverges from serial:\nserial:   %+v\nparallel: %+v",
+				name, serial, parallel)
+		}
+	}
+
 	fmt.Printf("simulating %d nodes, %d compaction iterations, GOMAXPROCS=%d\n\n",
 		nodes, len(tr.Iterations), runtime.GOMAXPROCS(0))
 
-	serial, serialWall := run(1) // sequential scheduler
-	parallel, parWall := run(0)  // conservative-PDES, one worker per thread
+	// Overlapped halo exchange: per-pair lookahead windows.
+	compare("overlap", nil)
 
-	fmt.Printf("serial   (Workers=1): %8.1f ms wall, %d model cycles\n",
-		serialWall.Seconds()*1e3, serial.TotalCycles)
-	fmt.Printf("parallel (Workers=0): %8.1f ms wall, %d model cycles\n",
-		parWall.Seconds()*1e3, parallel.TotalCycles)
-	fmt.Printf("wall-clock speedup:   %8.2fx\n\n", serialWall.Seconds()/parWall.Seconds())
+	// BSP supersteps: chunked compute/exchange/barrier rounds.
+	compare("bsp", func(cfg *nmppak.ScaleOutConfig) { cfg.Overlap = false })
 
-	// Cycle-exactness is a hard contract, not a tolerance: every field of
-	// the two results — phase cycle counts, communication fraction, link
-	// statistics, assembly outcome — must be identical.
-	if !reflect.DeepEqual(serial, parallel) {
-		log.Fatalf("parallel result diverges from serial:\nserial:   %+v\nparallel: %+v",
-			serial, parallel)
-	}
-	fmt.Println("results are identical: the parallel runtime is cycle-exact.")
+	// Elastic recovery: kill a node halfway through the fault-free run's
+	// span under checkpoint cadence 2, so the parallel scheduler must
+	// reproduce the capture, detection, restore, and re-partitioned
+	// survivor segments byte for byte too.
+	golden, _ := run(1, func(cfg *nmppak.ScaleOutConfig) { cfg.CheckpointEvery = 2 })
+	at := nmppak.Cycle(float64(golden.Compact.Total()) / 2)
+	compare("elastic", func(cfg *nmppak.ScaleOutConfig) {
+		cfg.CheckpointEvery = 2
+		cfg.Faults = nmppak.NodeLossAt(nodes/2, at, 500)
+	})
+
+	fmt.Println("\nall disciplines identical: the parallel runtime is cycle-exact.")
 }

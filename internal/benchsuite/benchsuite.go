@@ -7,6 +7,7 @@
 package benchsuite
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"reflect"
@@ -16,6 +17,7 @@ import (
 
 	"nmppak/internal/cpumodel"
 	"nmppak/internal/experiments"
+	"nmppak/internal/fault"
 	"nmppak/internal/gpumodel"
 	"nmppak/internal/kmer"
 	"nmppak/internal/nmp"
@@ -96,6 +98,9 @@ func Suite() []Case {
 		{"ScaleOut64xMeshParallel", benchScaleOut64xMeshParallel},
 		{"ScaleOut64xTorusParallel", benchScaleOut64xTorusParallel},
 		{"ScaleOut64xDragonflyParallel", benchScaleOut64xDragonflyParallel},
+		{"ScaleOut64xBSPParallel", benchScaleOut64xBSPParallel},
+		{"ScaleOut64xRebalanceParallel", benchScaleOut64xRebalanceParallel},
+		{"ScaleOut64xElasticParallel", benchScaleOut64xElasticParallel},
 	}
 }
 
@@ -386,24 +391,20 @@ func benchScaleOut8xTorus(b *testing.B) { benchScaleOut8x(b, false, topo.Torus(0
 
 func benchScaleOut8xDragonfly(b *testing.B) { benchScaleOut8x(b, false, topo.DragonflyGroups(0)) }
 
-// benchScaleOut64xParallel measures the conservative-PDES runtime on the
-// 64-node overlapped machine. A Workers=1 run — the sequential scheduler,
-// regardless of GOMAXPROCS — is timed off the benchmark clock as the
-// anchor; the timed loop runs with Workers=0 (one worker per GOMAXPROCS
-// thread) and the ratio is published as speedup_vs_serial. Cycle-exactness
-// is part of the bench contract: the parallel result must be identical to
-// the anchor or the benchmark fails. The ratio is only meaningful when
-// GOMAXPROCS is backed by real cores; on a single-core host the gate
+// measureParallel64 is the shared body of the 64-node parallel
+// benchmarks. A Workers=1 run — the sequential scheduler, regardless of
+// GOMAXPROCS — is timed off the benchmark clock as the anchor; the timed
+// loop runs with Workers=0 (one worker per GOMAXPROCS thread) and the
+// ratio is published as speedup_vs_serial, alongside an off-clock
+// fixed-width sweep (speedup_w2, speedup_w4) showing how the window
+// protocol scales with the pool. Cycle-exactness is part of the bench
+// contract: every parallel result must be identical to the anchor or the
+// benchmark fails. The ratios are only meaningful when GOMAXPROCS is
+// backed by real cores; on a single-core host the gate
 // (par.Threads(0)==1) routes both runs through the serial scheduler and
-// the ratio hovers near 1.
-func benchScaleOut64xParallel(b *testing.B, tc topo.Config) {
+// they hover near 1.
+func measureParallel64(b *testing.B, cfg scaleout.Config) {
 	c, t := setup()
-	cfg := scaleout.DefaultConfig(64)
-	cfg.K = c.W.K
-	cfg.MinCount = c.W.MinCount
-	cfg.Overlap = true
-	cfg.Topo = tc
-
 	scfg := cfg
 	scfg.Workers = 1
 	start := time.Now()
@@ -413,12 +414,13 @@ func benchScaleOut64xParallel(b *testing.B, tc topo.Config) {
 	}
 	serial := time.Since(start)
 
-	cfg.Workers = 0
+	wcfg := cfg
+	wcfg.Workers = 0
 	b.ReportAllocs()
 	b.ResetTimer()
 	var last *scaleout.Result
 	for i := 0; i < b.N; i++ {
-		res, err := scaleout.Simulate(c.Reads, t, cfg)
+		res, err := scaleout.Simulate(c.Reads, t, wcfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -431,6 +433,38 @@ func benchScaleOut64xParallel(b *testing.B, tc topo.Config) {
 	per := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
 	b.ReportMetric(float64(serial.Nanoseconds())/per, "speedup_vs_serial")
 	b.ReportMetric(float64(last.TotalCycles), "model_cycles")
+
+	// Fixed-width sweep, one off-clock shot per pool size. Reported after
+	// the timed section — ResetTimer clears earlier extra metrics.
+	for _, w := range []int{2, 4} {
+		wcfg.Workers = w
+		ws := time.Now()
+		res, err := scaleout.Simulate(c.Reads, t, wcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !reflect.DeepEqual(res, want) {
+			b.Fatalf("Workers=%d result diverges from the serial anchor", w)
+		}
+		b.ReportMetric(float64(serial.Nanoseconds())/float64(time.Since(ws).Nanoseconds()),
+			fmt.Sprintf("speedup_w%d", w))
+	}
+}
+
+// scale64Config is the shared 64-node scale-out configuration of the
+// parallel benchmark family.
+func scale64Config(tc topo.Config, overlap bool) scaleout.Config {
+	c, _ := setup()
+	cfg := scaleout.DefaultConfig(64)
+	cfg.K = c.W.K
+	cfg.MinCount = c.W.MinCount
+	cfg.Overlap = overlap
+	cfg.Topo = tc
+	return cfg
+}
+
+func benchScaleOut64xParallel(b *testing.B, tc topo.Config) {
+	measureParallel64(b, scale64Config(tc, true))
 }
 
 func benchScaleOut64xMeshParallel(b *testing.B) { benchScaleOut64xParallel(b, topo.Default()) }
@@ -439,6 +473,36 @@ func benchScaleOut64xTorusParallel(b *testing.B) { benchScaleOut64xParallel(b, t
 
 func benchScaleOut64xDragonflyParallel(b *testing.B) {
 	benchScaleOut64xParallel(b, topo.DragonflyGroups(0))
+}
+
+// benchScaleOut64xBSPParallel: the windowed chunked superstep driver on
+// the 64-node BSP machine.
+func benchScaleOut64xBSPParallel(b *testing.B) {
+	measureParallel64(b, scale64Config(topo.Default(), false))
+}
+
+// benchScaleOut64xRebalanceParallel: the rebalancing runtime (migration
+// barriers bounding every window) under the parallel scheduler.
+func benchScaleOut64xRebalanceParallel(b *testing.B) {
+	cfg := scale64Config(topo.Default(), false)
+	cfg.Partitioner = scaleout.NewRebalancePartitioner(12, 1)
+	measureParallel64(b, cfg)
+}
+
+// benchScaleOut64xElasticParallel: the elastic overlapped runtime —
+// periodic captures plus a mid-phase node loss and its recovery — under
+// the parallel scheduler. The fault cycle comes from an off-clock
+// fault-free run of the same machine.
+func benchScaleOut64xElasticParallel(b *testing.B) {
+	c, t := setup()
+	cfg := scale64Config(topo.Default(), true)
+	cfg.CheckpointEvery = 2
+	golden, err := scaleout.Simulate(c.Reads, t, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Faults = fault.NodeLossAt(32, sim.Cycle(float64(golden.Compact.Total())/2), 500)
+	measureParallel64(b, cfg)
 }
 
 func benchRadixSort1M(b *testing.B) {

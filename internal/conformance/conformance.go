@@ -24,10 +24,12 @@ import (
 
 	"nmppak/internal/assemble"
 	"nmppak/internal/compact"
+	"nmppak/internal/fault"
 	"nmppak/internal/genome"
 	"nmppak/internal/kmer"
 	"nmppak/internal/readsim"
 	"nmppak/internal/scaleout"
+	"nmppak/internal/sim"
 	"nmppak/internal/telemetry"
 	"nmppak/internal/topo"
 	"nmppak/internal/trace"
@@ -91,6 +93,14 @@ type Case struct {
 	// At is the checkpoint iteration (the first iteration the restored run
 	// executes); negative means "the middle of the trace".
 	At int
+	// Depth is the parallel runtime's pre-step depth (Config.PrestepDepth);
+	// 0 means the default of 1.
+	Depth int
+	// Elastic turns the cell into an elastic-runtime cell: a periodic
+	// checkpoint cadence plus (on multi-node machines) a mid-phase node
+	// loss, so the parallel sweep exercises captures, fault boundaries and
+	// the recovery rollback under the window protocol.
+	Elastic bool
 }
 
 // Name renders the cell for subtest names and error messages.
@@ -99,11 +109,18 @@ func (c Case) Name() string {
 	if c.Overlap {
 		disc = "overlap"
 	}
+	if c.Elastic {
+		disc = "elastic-" + disc
+	}
 	at := "mid"
 	if c.At >= 0 {
 		at = fmt.Sprintf("it%d", c.At)
 	}
-	return fmt.Sprintf("%s/%s/%s/n%d/%s", c.Topo, disc, c.Part, c.Nodes, at)
+	name := fmt.Sprintf("%s/%s/%s/n%d/%s", c.Topo, disc, c.Part, c.Nodes, at)
+	if c.Depth > 1 {
+		name += fmt.Sprintf("/d%d", c.Depth)
+	}
+	return name
 }
 
 // Config materializes the cell's scale-out configuration against a
@@ -133,15 +150,23 @@ func (c Case) Config(fx *Fixture) (scaleout.Config, error) {
 	default:
 		return cfg, fmt.Errorf("conformance: unknown partitioner %q", c.Part)
 	}
+	cfg.PrestepDepth = c.Depth
+	if c.Elastic {
+		cfg.CheckpointEvery = 2
+	}
 	return cfg, nil
 }
 
-// Valid reports whether the cell is a legal configuration; the one
-// illegal region of the matrix is overlap × rebalance (migration is a
-// global synchronization, so the rebalancer requires BSP — Validate
-// rejects it, which the sweep asserts separately).
+// Valid reports whether the cell is a legal configuration; the illegal
+// regions of the matrix are overlap × rebalance (migration is a global
+// synchronization, so the rebalancer requires BSP) and elastic ×
+// rebalance (recovery re-partitioning owns the table) — Validate rejects
+// both, which the sweep asserts separately.
 func (c Case) Valid() bool {
-	return !(c.Overlap && c.Part == PartRebalance)
+	if c.Part == PartRebalance && (c.Overlap || c.Elastic) {
+		return false
+	}
+	return true
 }
 
 // Matrix enumerates the full sweep: every topology, both disciplines, all
@@ -221,16 +246,52 @@ func Verify(fx *Fixture, c Case) error {
 	return nil
 }
 
-// ParallelMatrix enumerates the serial-vs-parallel equivalence sweep:
-// every topology, both disciplines, the given node counts (the hash
-// partitioner keeps the sweep's cost on the runtime under test rather
-// than on partitioning variety — VerifyParallel holds for any).
-func ParallelMatrix(nodes []int) []Case {
+// ParallelMatrix enumerates the serial-vs-parallel equivalence sweep
+// across every discipline the parallel runtime covers:
+//
+//   - the hash columns (BSP and overlap) at every node count — depth 1 at
+//     every column, deeper pre-stepping on the small multi-node columns
+//     where the full verifier cost is affordable;
+//   - the rebalancing runtime (BSP only — migration is a global
+//     synchronization) on the small columns, across depths;
+//   - the elastic runtime (both disciplines, periodic captures plus a
+//     mid-phase node loss) on the small columns, across depths.
+//
+// The hash partitioner keeps the sweep's cost on the runtime under test
+// rather than on partitioning variety — VerifyParallel holds for any.
+func ParallelMatrix(nodes, depths []int) []Case {
+	var small []int
+	for _, n := range nodes {
+		if n > 1 && n <= 8 {
+			small = append(small, n)
+		}
+	}
+	isSmall := func(n int) bool {
+		for _, s := range small {
+			if s == n {
+				return true
+			}
+		}
+		return false
+	}
 	var cases []Case
 	for _, kind := range []topo.Kind{topo.FullMesh, topo.Torus2D, topo.Dragonfly} {
 		for _, overlap := range []bool{false, true} {
 			for _, n := range nodes {
-				cases = append(cases, Case{Topo: kind, Overlap: overlap, Part: PartHash, Nodes: n, At: -1})
+				for _, d := range depths {
+					if d > 1 && !isSmall(n) {
+						continue
+					}
+					cases = append(cases, Case{Topo: kind, Overlap: overlap, Part: PartHash, Nodes: n, At: -1, Depth: d})
+				}
+			}
+		}
+		for _, n := range small {
+			for _, d := range depths {
+				cases = append(cases, Case{Topo: kind, Overlap: false, Part: PartRebalance, Nodes: n, At: -1, Depth: d})
+				for _, overlap := range []bool{false, true} {
+					cases = append(cases, Case{Topo: kind, Overlap: overlap, Part: PartHash, Nodes: n, At: -1, Depth: d, Elastic: true})
+				}
 			}
 		}
 	}
@@ -257,6 +318,18 @@ func VerifyParallel(fx *Fixture, c Case, workers int) error {
 		return nil
 	}
 	name := fmt.Sprintf("%s/w%d", c.Name(), workers)
+
+	// An elastic cell injects a mid-phase node loss so the equivalence
+	// holds across captures, fault boundaries and the recovery rollback —
+	// the loss cycle comes from a fault-free serial run of the same cell.
+	if c.Elastic && c.Nodes > 1 {
+		golden, err := scaleout.Simulate(fx.Reads, fx.Trace, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: fault-free elastic run: %w", name, err)
+		}
+		at := sim.Cycle(float64(golden.Compact.Total()) / 2)
+		cfg.Faults = fault.NodeLossAt(c.Nodes/2, at, 500)
+	}
 
 	run := func(w int) (*scaleout.Result, []byte, error) {
 		rcfg := cfg
@@ -285,6 +358,16 @@ func VerifyParallel(fx *Fixture, c Case, workers int) error {
 	}
 	if !bytes.Equal(ptrace, strace) {
 		return fmt.Errorf("%s: telemetry traces diverge (%d vs %d bytes)", name, len(ptrace), len(strace))
+	}
+
+	// The elastic runtime owns its checkpoint lifecycle (periodic ring
+	// captures inside the run — their byte-identity across worker counts
+	// is covered by the Result and trace comparisons above, which include
+	// the restored-from-ring recovery); the external Checkpoint API
+	// rejects elastic configurations, so the cross-mode blob section only
+	// applies to the static and rebalancing runtimes.
+	if c.Elastic {
+		return nil
 	}
 
 	// Checkpoint identity and cross-mode restore at the cell's boundary.

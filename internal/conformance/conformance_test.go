@@ -1,6 +1,8 @@
 package conformance
 
 import (
+	"os"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -85,20 +87,34 @@ func TestCheckpointIterationSweep(t *testing.T) {
 	}
 }
 
+// parallelDepths returns the pre-step depth column(s) of the parallel
+// sweep. The CI race matrix pins one depth per job via the
+// NMPPAK_PRESTEP_DEPTH environment variable; unset, both the default
+// depth and a deeper window run in-process.
+func parallelDepths() []int {
+	if v := os.Getenv("NMPPAK_PRESTEP_DEPTH"); v != "" {
+		if d, err := strconv.Atoi(v); err == nil && d > 0 {
+			return []int{d}
+		}
+	}
+	return []int{1, 3}
+}
+
 // TestParallelMatrix sweeps the serial-vs-parallel equivalence matrix:
-// topology × discipline × node count, asserting bit-identical Results,
-// byte-identical telemetry traces, byte-identical checkpoint blobs and
-// cross-mode (parallel-captured/serially-restored and vice versa) resume
-// equivalence for Workers ∈ {1, 4}. In -short mode only the 4-node
-// column runs; the full sweep includes the 64-node column the speedup
-// benchmarks target.
+// topology × discipline (BSP, overlap, rebalance, elastic with a
+// mid-phase node loss) × node count × pre-step depth, asserting
+// bit-identical Results, byte-identical telemetry traces, byte-identical
+// checkpoint blobs and cross-mode (parallel-captured/serially-restored
+// and vice versa) resume equivalence for Workers ∈ {1, 4}. In -short
+// mode only the 4-node column runs; the full sweep includes the 64-node
+// column the speedup benchmarks target.
 func TestParallelMatrix(t *testing.T) {
 	f := fixture(t)
 	nodes := []int{1, 4, 8, 64}
 	if testing.Short() {
 		nodes = []int{4}
 	}
-	for _, c := range ParallelMatrix(nodes) {
+	for _, c := range ParallelMatrix(nodes, parallelDepths()) {
 		c := c
 		t.Run(c.Name(), func(t *testing.T) {
 			if err := VerifyParallel(f, c, 4); err != nil {

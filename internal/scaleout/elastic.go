@@ -43,6 +43,7 @@ package scaleout
 
 import (
 	"fmt"
+	"math"
 
 	"nmppak/internal/dna"
 	"nmppak/internal/fault"
@@ -222,6 +223,30 @@ func (er *elasticRun) nextLive(i int) int {
 		}
 	}
 	return i
+}
+
+// parallelOK reports whether the elastic run's window drivers engage
+// (see runtime_parallel.go) — cycle-exact either way: the BSP chunks and
+// the overlapped segments produce byte-identical traces, results and
+// checkpoint blobs on both paths.
+func (er *elasticRun) parallelOK() bool {
+	return par.Threads(er.cfg.Workers) > 1 && er.n > 1
+}
+
+// pendingLoss reports whether the next boundary pass will act on a node
+// loss — an event already due at the current phase time. The windowed
+// BSP driver peeks so it can drop the un-placed telemetry of pre-stepped
+// iterations before the recovery's own spans are recorded.
+func (er *elasticRun) pendingLoss() bool {
+	for _, ev := range er.events[er.next:] {
+		if ev.Cycle > er.now {
+			return false
+		}
+		if ev.Kind == fault.NodeLoss {
+			return true
+		}
+	}
+	return false
 }
 
 // step advances node i by one iteration on its local clock (only live
@@ -546,11 +571,20 @@ func (er *elasticRun) shardInto(it int, halo [][]int64) {
 // runBSP is the elastic BSP discipline: golden supersteps over the live
 // membership, with fault boundaries, periodic captures and recoveries
 // spliced between them. Fault-free it reproduces the legacy BSP schedule
-// plus the checkpoint stalls.
+// plus the checkpoint stalls. With a worker pool the supersteps advance
+// through the window protocol (bspChunk) in chunks of up to PrestepDepth
+// iterations, never crossing a capture boundary — byte-identical to the
+// serial path either way.
 func (er *elasticRun) runBSP() error {
 	lb := er.deg.BarrierCycles()
 	sb := er.cfg.NMP.SyncBarrierCycles
+	windowed := er.parallelOK()
+	if windowed && er.pr != nil {
+		er.pr.enableBuffer(er.n, er.iters)
+	}
+	k := er.cfg.depth()
 	durs := make([]sim.Cycle, er.n)
+	halos := make([][][]int64, 0, k)
 	it := 0
 	for {
 		cont, err := er.boundary(it)
@@ -568,6 +602,30 @@ func (er *elasticRun) runBSP() error {
 			if err := er.capture(it); err != nil {
 				return err
 			}
+		}
+
+		if windowed {
+			// Chunk [it, end): capped by the pre-step depth and by the
+			// next capture boundary (a capture is a global horizon).
+			end := it + k
+			if er.every > 0 {
+				if b := (it/er.every + 1) * er.every; b < end {
+					end = b
+				}
+			}
+			if end > er.iters {
+				end = er.iters
+			}
+			cont, err = er.bspChunk(it, end, lb, sb, durs, &halos)
+			if err != nil {
+				return err
+			}
+			if cont >= 0 {
+				it = cont
+				continue
+			}
+			it = end
+			continue
 		}
 
 		halo := mat(er.n)
@@ -589,7 +647,7 @@ func (er *elasticRun) runBSP() error {
 			}
 		}
 		if er.pr != nil {
-			er.pr.liveCompute(it, er.pr.base+er.now, durs, er.live, slowest)
+			er.pr.liveCompute(it, er.pr.base+er.now, durs, er.live, slowest, false)
 		}
 		er.compute += slowest
 		er.now += slowest
@@ -611,6 +669,92 @@ func (er *elasticRun) runBSP() error {
 		}
 		it++
 	}
+}
+
+// bspChunk advances the windowed elastic BSP through supersteps
+// [from, to): pre-shard the chunk's halos, pre-step the live engines
+// across the worker pool (buffering their telemetry), then drain the
+// fault boundaries, measurement placement and exchange/barrier pricing
+// serially in the exact serial order. Interior fault boundaries stay
+// conservative because a recovery rolls engines, durations, traces and
+// counters back wholesale (rollback); the only window state with no
+// serial counterpart is the un-placed telemetry of iterations pre-stepped
+// past the detection boundary, which is dropped (dropBuffered) before the
+// recovery records its own spans so the tracks stay byte-identical.
+// Returns the resume iteration when a recovery rewound the run, -1
+// otherwise.
+func (er *elasticRun) bspChunk(from, to int, lb, sb sim.Cycle, durs []sim.Cycle, halos *[][][]int64) (int, error) {
+	hs := (*halos)[:0]
+	for j := from; j < to; j++ {
+		h := mat(er.n)
+		er.shardInto(j, h)
+		hs = append(hs, h)
+	}
+	*halos = hs
+	par.ForIdx(er.n, er.cfg.Workers, func(i int) {
+		if !er.live[i] {
+			return
+		}
+		for j := from; j < to; j++ {
+			er.step(i)
+			if er.pr != nil {
+				er.pr.bufferStep(i, j)
+			}
+		}
+	})
+	for j := from; j < to; j++ {
+		if j > from {
+			if er.pr != nil && er.pendingLoss() {
+				for i := 0; i < er.n; i++ {
+					if er.live[i] {
+						er.pr.dropBuffered(i, j)
+					}
+				}
+			}
+			cont, err := er.boundary(j)
+			if err != nil {
+				return 0, err
+			}
+			if cont >= 0 {
+				return cont, nil
+			}
+		}
+		var slowest sim.Cycle
+		maxIdx := 0
+		for i := 0; i < er.n; i++ {
+			if er.live[i] {
+				durs[i] = er.durations[i][j]
+			} else {
+				durs[i] = 0
+			}
+			if durs[i] > slowest {
+				slowest = durs[i]
+				maxIdx = i
+			}
+		}
+		if er.pr != nil {
+			er.pr.liveCompute(j, er.pr.base+er.now, durs, er.live, slowest, true)
+		}
+		er.compute += slowest
+		er.now += slowest
+
+		hx := er.doExchange(hs[j-from])
+		er.out.ExchangedBytes += hx.TotalBytes
+		er.stallComm(telemetry.SpanExchangeWait, j, hx.Cycles, hx.TotalBytes)
+
+		if j+1 < er.iters {
+			er.stallBarrier(telemetry.SpanLinkBarrier, j, lb, 0, true)
+			er.stallBarrier(telemetry.SpanSyncBarrier, j, sb, 0, false)
+			if er.pr != nil {
+				for i := 0; i < er.n; i++ {
+					if er.live[i] {
+						er.pr.c.AddDep(i, j+1, telemetry.BoundBarrier, maxIdx)
+					}
+				}
+			}
+		}
+	}
+	return -1, nil
 }
 
 // segOutcome summarizes one speculative overlapped segment.
@@ -791,6 +935,13 @@ func (er *elasticRun) runSegment(s, e int) *segOutcome {
 		}
 	}
 
+	// The window protocol engages per segment: the live membership and the
+	// degraded routes both shift at fault boundaries, so the gate and the
+	// lookahead matrix are segment-local. A degenerate segment (single
+	// survivor, zero-lookahead network) runs the lazy serial schedule.
+	windowed := er.parallelOK() && len(er.surv) > 1 && er.deg.MinLatency() > 0
+	prestepped := 0
+
 	var begin func(i, j int, at sim.Cycle)
 	tryStart := func(i, j, src int) {
 		nd := nodes[i]
@@ -855,9 +1006,20 @@ func (er *elasticRun) runSegment(s, e int) *segOutcome {
 					pr.node[i].Add(telemetry.SpanDeliveryWait, off+e0+sb, off+at, int64(s+j), 0)
 				}
 			}
-			d := er.step(i)
-			if pr != nil {
-				pr.placeIter(i, s+j, off+at)
+			var d sim.Cycle
+			if j < prestepped {
+				d = er.durations[i][s+j]
+				if pr != nil {
+					pr.placeBuffered(i, s+j, off+at)
+				}
+			} else {
+				if windowed {
+					panic("scaleout: windowed elastic segment reached an un-stepped iteration")
+				}
+				d = er.step(i)
+				if pr != nil {
+					pr.placeIter(i, s+j, off+at)
+				}
 			}
 			lastEnd[i] = at + d
 			g.After(d, func() { finish(i, j) })
@@ -867,6 +1029,72 @@ func (er *elasticRun) runSegment(s, e int) *segOutcome {
 		if er.live[i] {
 			nodes[i].started[0] = true
 			begin(i, 0, 0)
+		}
+	}
+	if windowed {
+		// Window driver on the segment-local clock: pre-step the live
+		// engines in chunks of up to PrestepDepth iterations, derive the
+		// conservative horizon from the chain bounds plus the degraded
+		// per-pair lookahead, and drain the segment's event loop up to it.
+		// Identical closures in identical order — the segment stays
+		// byte-identical, so the mark/rewind speculation in runOverlapped
+		// composes unchanged.
+		if pr != nil && pr.buf == nil {
+			pr.enableBuffer(n, er.iters)
+		}
+		look := pairLookahead(er.deg, n)
+		k := er.cfg.depth()
+		workers := er.cfg.Workers
+		lbound := make([]sim.Cycle, n)
+		lend := make([]sim.Cycle, n)
+		for r := 0; r < m; r += k {
+			hi := r + k
+			if hi > m {
+				hi = m
+			}
+			par.ForIdx(n, workers, func(i int) {
+				if !er.live[i] {
+					return
+				}
+				for j := r; j < hi; j++ {
+					er.step(i)
+					if pr != nil {
+						pr.bufferStep(i, s+j)
+					}
+				}
+			})
+			prestepped = hi
+			for i := 0; i < n; i++ {
+				if !er.live[i] {
+					continue
+				}
+				for j := r; j < hi; j++ {
+					lend[i] = lbound[i] + er.durations[i][s+j]
+					lbound[i] = lend[i] + sb
+				}
+			}
+			if hi >= m {
+				break
+			}
+			h := sim.Cycle(math.MaxInt64)
+			hj := halo[hi-1]
+			for i := 0; i < n; i++ {
+				if !er.live[i] {
+					continue
+				}
+				bound := lbound[i]
+				for src := 0; src < n; src++ {
+					if src != i && er.live[src] && hj[src][i] > 0 {
+						if d := lend[src] + look[src][i]; d > bound {
+							bound = d
+						}
+					}
+				}
+				if bound < h {
+					h = bound
+				}
+			}
+			g.RunUntil(h)
 		}
 	}
 	g.Run()

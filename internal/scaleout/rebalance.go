@@ -287,13 +287,99 @@ func newRebalanceState(tr *trace.Trace, net topo.Network, cfg Config, p *Rebalan
 	return rr
 }
 
+// migrateAt runs the iteration-it migration decision against the
+// measurements accumulated so far and, when buckets move, prices the
+// transfer over the network. Returns the advanced telemetry clock.
+//
+// Every live MacroNode appears in its iteration's trace (P1 visits the
+// full live population each iteration), so pricing the move off
+// iter.Nodes charges every node a bucket move relocates; a migration
+// that moves only drained buckets (no live nodes left) is a no-op and
+// is not counted.
+func (rr *rebalanceRun) migrateAt(it int, gnow sim.Cycle) sim.Cycle {
+	n, out, p, pr := rr.n, rr.out, rr.p, rr.pr
+	iter := &rr.tr.Iterations[it]
+	copy(rr.prev, rr.table)
+	lastBytes := rr.iterBytes[it-1] - rr.iterBytes[it]
+	decay := 0.0
+	if lastBytes > 0 {
+		decay = rr.iterBytes[it] / lastBytes
+	}
+	if !p.migrate(rr.table, rr.cum, rr.lastDur, rr.weight, decay, n) {
+		return gnow
+	}
+	move := mat(n)
+	for i := range iter.Nodes {
+		nd := &iter.Nodes[i]
+		b := p.bucket(nd.Key, rr.k1)
+		if rr.prev[b] != rr.table[b] {
+			move[rr.prev[b]][rr.table[b]] += int64(nd.D1 + nd.D2)
+		}
+	}
+	var mx topo.ExchangeStats
+	if pr != nil {
+		mx = topo.ExchangeProbed(rr.net, move, pr.linkAt(gnow))
+	} else {
+		mx = topo.Exchange(rr.net, move)
+	}
+	if mx.TotalBytes > 0 {
+		rr.exchange += mx.Cycles
+		out.ExchangedBytes += mx.TotalBytes
+		out.MigratedBytes += mx.TotalBytes
+		out.Rebalances++
+		if pr != nil {
+			gnow = pr.stall(telemetry.SpanMigration, it, gnow, mx.Cycles, mx.TotalBytes)
+		}
+	}
+	return gnow
+}
+
+// shard slices iteration it across the nodes under the current ownership
+// table: the halo matrix is returned, the per-node sub-iterations are
+// appended to the node traces and the traffic counters accumulate.
+func (rr *rebalanceRun) shard(it int) [][]int64 {
+	halo := mat(rr.n)
+	subs, l, r, hb := shardIteration(&rr.tr.Iterations[it], rr.n, rr.ownerOf, halo)
+	rr.out.LocalTNs += l
+	rr.out.RemoteTNs += r
+	rr.out.HaloBytes += hb
+	for o := 0; o < rr.n; o++ {
+		if it == 0 {
+			rr.traces[o].Quantiles = subs[o].Quantiles
+		}
+		rr.traces[o].Iterations = append(rr.traces[o].Iterations, subs[o])
+	}
+	return halo
+}
+
+// refreshWeights rebuilds the per-bucket bytes that attribute iteration
+// it's measured time for the next migration decision.
+func (rr *rebalanceRun) refreshWeights(it int) {
+	clear(rr.weight)
+	for i := range rr.tr.Iterations[it].Nodes {
+		nd := &rr.tr.Iterations[it].Nodes[i]
+		rr.weight[rr.p.bucket(nd.Key, rr.k1)] += int64(nd.D1 + nd.D2)
+	}
+}
+
+// parallelOK reports whether the advancement takes the windowed chunked
+// path (advanceWindowed) — cycle-exact either way, like every parallel
+// dispatch in this package.
+func (rr *rebalanceRun) parallelOK() bool {
+	return par.Threads(rr.cfg.Workers) > 1 && rr.n > 1
+}
+
 // advance executes iterations [from, to): between iterations, re-fit
 // ownership to the measured busy times and charge the moved MacroNodes
 // over the network (straggler -> new owner); then shard the iteration
 // under the current table, step every engine, and refresh the measurement
 // state the next migration decision reads.
 func (rr *rebalanceRun) advance(from, to int) {
-	n, out, p := rr.n, rr.out, rr.p
+	if rr.parallelOK() {
+		rr.advanceWindowed(from, to)
+		return
+	}
+	n, out := rr.n, rr.out
 	pr := rr.pr
 	lb := rr.net.BarrierCycles()
 	sb := rr.cfg.NMP.SyncBarrierCycles
@@ -302,58 +388,10 @@ func (rr *rebalanceRun) advance(from, to int) {
 		gnow = pr.bspStart(rr.compute, rr.exchange, from, rr.iters, lb, sb)
 	}
 	for it := from; it < to; it++ {
-		iter := &rr.tr.Iterations[it]
-
-		// Every live MacroNode appears in its iteration's trace (P1 visits
-		// the full live population each iteration), so pricing the move
-		// off iter.Nodes charges every node a bucket move relocates; a
-		// migration that moves only drained buckets (no live nodes left)
-		// is a no-op and is not counted.
-		if it > 0 && it%p.Every == 0 && n > 1 {
-			copy(rr.prev, rr.table)
-			lastBytes := rr.iterBytes[it-1] - rr.iterBytes[it]
-			decay := 0.0
-			if lastBytes > 0 {
-				decay = rr.iterBytes[it] / lastBytes
-			}
-			if p.migrate(rr.table, rr.cum, rr.lastDur, rr.weight, decay, n) {
-				move := mat(n)
-				for i := range iter.Nodes {
-					nd := &iter.Nodes[i]
-					b := p.bucket(nd.Key, rr.k1)
-					if rr.prev[b] != rr.table[b] {
-						move[rr.prev[b]][rr.table[b]] += int64(nd.D1 + nd.D2)
-					}
-				}
-				var mx topo.ExchangeStats
-				if pr != nil {
-					mx = topo.ExchangeProbed(rr.net, move, pr.linkAt(gnow))
-				} else {
-					mx = topo.Exchange(rr.net, move)
-				}
-				if mx.TotalBytes > 0 {
-					rr.exchange += mx.Cycles
-					out.ExchangedBytes += mx.TotalBytes
-					out.MigratedBytes += mx.TotalBytes
-					out.Rebalances++
-					if pr != nil {
-						gnow = pr.stall(telemetry.SpanMigration, it, gnow, mx.Cycles, mx.TotalBytes)
-					}
-				}
-			}
+		if it > 0 && it%rr.p.Every == 0 && n > 1 {
+			gnow = rr.migrateAt(it, gnow)
 		}
-
-		halo := mat(n)
-		subs, l, r, hb := shardIteration(iter, n, rr.ownerOf, halo)
-		out.LocalTNs += l
-		out.RemoteTNs += r
-		out.HaloBytes += hb
-		for o := 0; o < n; o++ {
-			if it == 0 {
-				rr.traces[o].Quantiles = subs[o].Quantiles
-			}
-			rr.traces[o].Iterations = append(rr.traces[o].Iterations, subs[o])
-		}
+		halo := rr.shard(it)
 
 		par.ForIdx(n, rr.cfg.Workers, func(i int) {
 			e := rr.engines[i]
@@ -379,7 +417,7 @@ func (rr *rebalanceRun) advance(from, to int) {
 		rr.compute += slowest
 		var hx topo.ExchangeStats
 		if pr != nil {
-			gnow = pr.superstepCompute(it, gnow, rr.lastDur, slowest)
+			gnow = pr.superstepCompute(it, gnow, rr.lastDur, slowest, false)
 			hx = topo.ExchangeProbed(rr.net, halo, pr.linkAt(gnow))
 		} else {
 			hx = topo.Exchange(rr.net, halo)
@@ -390,13 +428,92 @@ func (rr *rebalanceRun) advance(from, to int) {
 			gnow = pr.superstepComm(it, rr.iters, gnow, hx, lb, sb, maxIdx)
 		}
 
-		// Refresh the bucket weights that attribute this iteration's
-		// measured time for the next migration decision.
-		clear(rr.weight)
-		for i := range iter.Nodes {
-			nd := &iter.Nodes[i]
-			rr.weight[p.bucket(nd.Key, rr.k1)] += int64(nd.D1 + nd.D2)
+		rr.refreshWeights(it)
+	}
+}
+
+// advanceWindowed is advance on the window protocol of
+// runtime_parallel.go: migrations are window barriers — the ownership
+// table is frozen between them, so the shard feed and the engine
+// stepping of every iteration inside a window are already determined at
+// its start. Each window (further chunked by Config.PrestepDepth)
+// pre-shards its iterations, pre-steps all engines across the worker
+// pool, then drains the measurement refresh and exchange/barrier pricing
+// serially in the exact serial order — cycle-exact and byte-identical in
+// traces, results and checkpoints.
+func (rr *rebalanceRun) advanceWindowed(from, to int) {
+	n, out, p := rr.n, rr.out, rr.p
+	pr := rr.pr
+	if pr != nil && pr.buf == nil {
+		pr.enableBuffer(n, rr.iters)
+	}
+	k := rr.cfg.depth()
+	lb := rr.net.BarrierCycles()
+	sb := rr.cfg.NMP.SyncBarrierCycles
+	var gnow sim.Cycle
+	if pr != nil {
+		gnow = pr.bspStart(rr.compute, rr.exchange, from, rr.iters, lb, sb)
+	}
+	halos := make([][][]int64, 0, k)
+	for it := from; it < to; {
+		if it > 0 && it%p.Every == 0 && n > 1 {
+			gnow = rr.migrateAt(it, gnow)
 		}
+		// Window: up to k iterations, never crossing the next migration
+		// boundary (a migration re-reads the measurements the drain below
+		// refreshes, and rewrites the table the shard feed reads).
+		hi := it + k
+		if next := (it/p.Every + 1) * p.Every; next < hi {
+			hi = next
+		}
+		if hi > to {
+			hi = to
+		}
+		halos = halos[:0]
+		for j := it; j < hi; j++ {
+			halos = append(halos, rr.shard(j))
+		}
+		par.ForIdx(n, rr.cfg.Workers, func(i int) {
+			e := rr.engines[i]
+			for j := it; j < hi; j++ {
+				if pr != nil {
+					pr.beforeStep(i, e)
+				}
+				ti := e.StepIteration(e.NextStart())
+				out.Durations[i][j] = ti.End - ti.Start
+				if pr != nil {
+					pr.afterStep(i, e, ti)
+					pr.bufferStep(i, j)
+				}
+			}
+		})
+		for j := it; j < hi; j++ {
+			var slowest sim.Cycle
+			maxIdx := 0
+			for i := 0; i < n; i++ {
+				rr.lastDur[i] = out.Durations[i][j]
+				rr.cum[i] += rr.lastDur[i]
+				if rr.lastDur[i] > slowest {
+					slowest = rr.lastDur[i]
+					maxIdx = i
+				}
+			}
+			rr.compute += slowest
+			var hx topo.ExchangeStats
+			if pr != nil {
+				gnow = pr.superstepCompute(j, gnow, rr.lastDur, slowest, true)
+				hx = topo.ExchangeProbed(rr.net, halos[j-it], pr.linkAt(gnow))
+			} else {
+				hx = topo.Exchange(rr.net, halos[j-it])
+			}
+			rr.exchange += hx.Cycles
+			out.ExchangedBytes += hx.TotalBytes
+			if pr != nil {
+				gnow = pr.superstepComm(j, rr.iters, gnow, hx, lb, sb, maxIdx)
+			}
+			rr.refreshWeights(j)
+		}
+		it = hi
 	}
 }
 

@@ -131,8 +131,9 @@ func (rt *runtime) step(i int) sim.Cycle {
 
 // run executes the compaction phase under the configured discipline. An
 // overlapped run takes the conservative-PDES parallel path when the
-// machine and host shape support it (see parallelOK); BSP supersteps
-// already fan their engine stepping out across workers.
+// machine and host shape support it (see parallelOK); BSP advancement
+// takes the windowed chunked path under the same worker-pool condition
+// (see bspParallelOK, inside bspAdvance).
 func (rt *runtime) run() *compactOutcome {
 	var out *compactOutcome
 	if rt.cfg.Overlap {
@@ -158,8 +159,14 @@ func (rt *runtime) run() *compactOutcome {
 // exchange is appended serially, exactly as the original aggregation loop
 // priced them. The partial sums accumulate on the runtime so a run can be
 // split at any iteration boundary — runBSP finishes the whole trace, the
-// checkpoint capture stops mid-way and snapshots.
+// checkpoint capture stops mid-way and snapshots. With a real worker pool
+// the windowed variant (runtime_parallel.go) pre-steps whole chunks of
+// supersteps and drains their pricing serially — cycle-exact either way.
 func (rt *runtime) bspAdvance(from, to int) {
+	if rt.bspParallelOK(from, to) {
+		rt.bspAdvanceWindowed(from, to)
+		return
+	}
 	pr := rt.pr
 	lb := rt.net.BarrierCycles()
 	sb := rt.cfg.NMP.SyncBarrierCycles
@@ -183,7 +190,7 @@ func (rt *runtime) bspAdvance(from, to int) {
 		rt.compute += max
 		var hx topo.ExchangeStats
 		if pr != nil {
-			gnow = pr.superstepCompute(it, gnow, slowest, max)
+			gnow = pr.superstepCompute(it, gnow, slowest, max, false)
 			hx = topo.ExchangeProbed(rt.net, rt.st.Halo[it], pr.linkAt(gnow))
 		} else {
 			hx = topo.Exchange(rt.net, rt.st.Halo[it])
@@ -201,13 +208,14 @@ func (rt *runtime) bspAdvance(from, to int) {
 // checkpoint capture uses it: an overlapped restore rebuilds its own
 // event-driven schedule (and ExchangedBytes) from the halo matrix and
 // never reads the BSP partial sums, so simulating the exchanges during
-// capture would be discarded work.
+// capture would be discarded work. Probes are never attached on this
+// path, so each worker can batch its node's whole iteration range.
 func (rt *runtime) stepAdvance(from, to int) {
-	for it := from; it < to; it++ {
-		par.ForIdx(rt.n, rt.cfg.Workers, func(i int) {
+	par.ForIdx(rt.n, rt.cfg.Workers, func(i int) {
+		for it := from; it < to; it++ {
 			rt.step(i)
-		})
-	}
+		}
+	})
 }
 
 // runBSP completes the BSP discipline from the runtime's start iteration

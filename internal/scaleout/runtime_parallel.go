@@ -1,21 +1,23 @@
-// Conservative-PDES parallel execution of the overlapped discipline.
+// Conservative-PDES parallel execution of the compaction disciplines.
 //
-// The serial overlapped runtime (runtime.go) interleaves two very
-// different kinds of work on one event timeline: the heavy per-node
-// engine micro-simulation (rt.step — the DRAM/NMP cycle model) and the
-// light macro schedule (halo flights, dependency resolution). The
-// parallel mode splits them: each node's stepwise nmp.Engine plus its
-// DRAM channels is a logical process that advances on its private
-// sim.Engine, and the macro timeline becomes a window-based synchronous
-// protocol loop —
+// The serial runtimes interleave two very different kinds of work on one
+// timeline: the heavy per-node engine micro-simulation (rt.step — the
+// DRAM/NMP cycle model) and the light macro schedule (halo flights,
+// supersteps, dependency resolution). The parallel mode splits them: each
+// node's stepwise nmp.Engine plus its DRAM channels is a logical process
+// that advances on its private sim.Engine, and the macro timeline becomes
+// a window-based synchronous protocol loop —
 //
-//  1. every node pre-steps its next iteration in parallel (goroutine
-//     pool, Config.Workers), recording the iteration duration and
-//     buffering the step's telemetry on its local clock;
+//  1. every node pre-steps its next k iterations in parallel (goroutine
+//     pool, Config.Workers; k = Config.PrestepDepth), recording the
+//     iteration durations and buffering the steps' telemetry on its
+//     local clock;
 //  2. the scheduler derives a conservative horizon: no event that needs
 //     a still-unknown duration can occur before it (see horizon below,
-//     whose delivery term comes from the topology's MinLatency — the
-//     classic PDES lookahead);
+//     whose delivery terms come from the per-pair lookahead matrix —
+//     topo.Network.PairMinLatency — so each node's bound uses only its
+//     actual halo senders' route distances, not the topology-wide
+//     minimum);
 //  3. the shared macro event loop advances up to that horizon
 //     (sim.Engine.RunUntil), exchanging the halo flights that became
 //     ready and resolving iteration starts, then the next round begins.
@@ -23,17 +25,24 @@
 // Because engine iteration durations are schedule-independent (each
 // engine advances on its local back-to-back clock, identical to
 // nmp.Simulate — the same invariant the checkpoint replay path relies
-// on), pre-stepping cannot change any duration, and because the macro
-// loop runs the exact serial closures in the exact serial order, every
-// event sequence number, every Result field, every telemetry span and
-// every checkpoint blob is byte-identical to the serial runtime. The
-// conformance suite pins this across the full topology x discipline x
-// node-count matrix.
+// on), pre-stepping cannot change any duration — to any depth — and
+// because the macro loop runs the exact serial closures in the exact
+// serial order, every event sequence number, every Result field, every
+// telemetry span and every checkpoint blob is byte-identical to the
+// serial runtime. The conformance suite pins this across the full
+// topology x discipline x node-count x depth matrix.
+//
+// The BSP discipline needs no lookahead at all: its supersteps are
+// barrier-synchronized, so every iteration boundary is a horizon and
+// bspAdvanceWindowed simply pre-steps chunks of k supersteps on the pool
+// and drains their exchange/barrier pricing serially. The rebalance and
+// elastic runtimes build their own window drivers on the same protocol
+// (rebalance.go, elastic.go): migrations, checkpoint captures and fault
+// boundaries are conservative horizons there.
 //
 // Fallbacks: one effective worker, a single node, an empty compaction
-// phase, or a zero-lookahead network all take the serial path (BSP
-// supersteps are already worker-parallel; the rebalance and elastic
-// runtimes keep their own serial drivers in v1).
+// phase, or (overlapped only) a zero-lookahead network all take the
+// serial path.
 package scaleout
 
 import (
@@ -41,7 +50,29 @@ import (
 
 	"nmppak/internal/par"
 	"nmppak/internal/sim"
+	"nmppak/internal/topo"
 )
+
+// pairLookahead precomputes the parallel runtime's lookahead matrix:
+// look[src][dst] is a conservative lower bound on src -> dst delivery
+// (topo.Network.PairMinLatency). On distance-varying topologies distant
+// sender pairs get strictly wider bounds than the global MinLatency,
+// which widens the windows correspondingly. A Degraded network
+// recomputes detour-forced pairs from its actual routes, so the matrix
+// must be built only after the degradation events it should observe —
+// the elastic runtime rebuilds it per recovery segment.
+func pairLookahead(net topo.Network, n int) [][]sim.Cycle {
+	look := make([][]sim.Cycle, n)
+	for src := 0; src < n; src++ {
+		look[src] = make([]sim.Cycle, n)
+		for dst := 0; dst < n; dst++ {
+			if dst != src {
+				look[src][dst] = net.PairMinLatency(src, dst)
+			}
+		}
+	}
+	return look
+}
 
 // parallelOK reports whether the overlapped compaction replay may take
 // the conservative-PDES path. The result is identical either way; this
@@ -53,6 +84,14 @@ func (rt *runtime) parallelOK() bool {
 		rt.net.MinLatency() > 0
 }
 
+// bspParallelOK reports whether a BSP advancement takes the windowed
+// chunked path. Supersteps are barrier-synchronized — iteration
+// boundaries are the horizons — so no lookahead condition applies; only
+// the worker pool and a multi-node machine matter.
+func (rt *runtime) bspParallelOK(from, to int) bool {
+	return par.Threads(rt.cfg.Workers) > 1 && rt.n > 1 && to > from
+}
+
 // runOverlappedParallel drives the overlapped discipline through the
 // window protocol described in the package comment.
 func (rt *runtime) runOverlappedParallel() *compactOutcome {
@@ -61,9 +100,10 @@ func (rt *runtime) runOverlappedParallel() *compactOutcome {
 	if rt.pr != nil {
 		rt.pr.enableBuffer(rt.n, rt.iters)
 	}
-	lat := rt.net.MinLatency()
+	look := pairLookahead(rt.net, rt.n)
 	sb := rt.cfg.NMP.SyncBarrierCycles
 	workers := rt.cfg.Workers
+	k := rt.cfg.depth()
 
 	// Chain lower bounds on the macro schedule, per node: every
 	// iteration begins no earlier than its predecessor's begin plus that
@@ -81,52 +121,61 @@ func (rt *runtime) runOverlappedParallel() *compactOutcome {
 	}
 
 	return rt.runOverlappedWith(func(g *sim.Engine) {
-		for r := rt.start; r < rt.iters; r++ {
-			// Round r: all logical processes advance one iteration in
-			// parallel. Each worker owns node i exclusively for the
-			// step, so the engine, its duration row, its DRAM tracks and
-			// its telemetry scratch stay single-writer.
+		for r := rt.start; r < rt.iters; r += k {
+			hi := r + k
+			if hi > rt.iters {
+				hi = rt.iters
+			}
+			// Round: all logical processes advance up to k iterations in
+			// parallel. Each worker owns node i exclusively for its
+			// chunk, so the engine, its duration rows, its DRAM tracks
+			// and its telemetry scratch stay single-writer.
 			par.ForIdx(rt.n, workers, func(i int) {
-				rt.step(i)
-				if rt.pr != nil {
-					rt.pr.bufferStep(i, r)
+				for it := r; it < hi; it++ {
+					rt.step(i)
+					if rt.pr != nil {
+						rt.pr.bufferStep(i, it)
+					}
 				}
 			})
-			rt.stepped = r + 1
+			rt.stepped = hi
 			for i := 0; i < rt.n; i++ {
-				le[i] = lb[i] + rt.durations[i][r]
-				lb[i] = le[i] + sb
+				for it := r; it < hi; it++ {
+					le[i] = lb[i] + rt.durations[i][it]
+					lb[i] = le[i] + sb
+				}
 			}
 			if rt.stepped >= rt.iters {
 				// Every duration is known; the closing Run drains the
 				// macro loop with nothing left to look ahead of.
 				return
 			}
-			g.RunUntil(rt.horizon(r, lat, lb, le))
+			g.RunUntil(rt.horizon(hi-1, look, lb, le))
 		}
 	})
 }
 
-// horizon returns the conservative bound after pre-stepping round r: no
-// macro event that needs iteration r+1's (unknown) duration can occur
-// strictly before it. Node i's iteration r+1 begins at the later of
+// horizon returns the conservative bound after pre-stepping through
+// iteration r: no macro event that needs iteration r+1's (unknown)
+// duration can occur strictly before it. Node i's iteration r+1 begins
+// at the later of
 //
 //   - its own chain bound lb[i] (previous end + sync barrier), and
 //   - for every halo sender src of iteration r, that sender's finish
-//     bound le[src] plus the network's minimum send-to-delivery latency
-//     (contention and degradation only delay further) — the PDES
-//     lookahead term that lets a node with pending inbound halo run
-//     ahead of a slow sender by the wire latency.
+//     bound le[src] plus the pair's minimum send-to-delivery latency
+//     look[src][i] (contention and degradation only delay further) —
+//     the PDES lookahead term that lets a node with pending inbound
+//     halo run ahead of a slow sender by that pair's wire distance.
 //
 // The global horizon is the minimum over nodes.
-func (rt *runtime) horizon(r int, lat sim.Cycle, lb, le []sim.Cycle) sim.Cycle {
+func (rt *runtime) horizon(r int, look [][]sim.Cycle, lb, le []sim.Cycle) sim.Cycle {
 	h := sim.Cycle(math.MaxInt64)
 	halo := rt.st.Halo[r]
 	for i := 0; i < rt.n; i++ {
 		bound := lb[i]
 		for src := 0; src < rt.n; src++ {
 			if src != i && halo[src][i] > 0 {
-				if d := le[src] + lat; d > bound {
+				if d := le[src] + look[src][i]; d > bound {
 					bound = d
 				}
 			}
@@ -136,4 +185,67 @@ func (rt *runtime) horizon(r int, lat sim.Cycle, lb, le []sim.Cycle) sim.Cycle {
 		}
 	}
 	return h
+}
+
+// bspAdvanceWindowed is bspAdvance on the window protocol: chunks of up
+// to k supersteps are pre-stepped on the worker pool (buffering their
+// telemetry), then each superstep's exchange and barrier pricing drains
+// serially in the exact serial order, reading the recorded durations.
+// The split is safe because superstep pricing depends only on the
+// durations and the static halo matrix, and cycle-exact because the
+// drain emits the same spans with the same global times the serial loop
+// would.
+func (rt *runtime) bspAdvanceWindowed(from, to int) {
+	rt.windowed = true
+	pr := rt.pr
+	if pr != nil && pr.buf == nil {
+		pr.enableBuffer(rt.n, rt.iters)
+	}
+	k := rt.cfg.depth()
+	lb := rt.net.BarrierCycles()
+	sb := rt.cfg.NMP.SyncBarrierCycles
+	var gnow sim.Cycle
+	if pr != nil {
+		gnow = pr.bspStart(rt.compute, rt.exchange, from, rt.iters, lb, sb)
+	}
+	durs := make([]sim.Cycle, rt.n)
+	for base := from; base < to; base += k {
+		hi := base + k
+		if hi > to {
+			hi = to
+		}
+		par.ForIdx(rt.n, rt.cfg.Workers, func(i int) {
+			for it := base; it < hi; it++ {
+				rt.step(i)
+				if pr != nil {
+					pr.bufferStep(i, it)
+				}
+			}
+		})
+		rt.stepped = hi
+		for it := base; it < hi; it++ {
+			var max sim.Cycle
+			maxIdx := 0
+			for i := 0; i < rt.n; i++ {
+				durs[i] = rt.durations[i][it]
+				if durs[i] > max {
+					max = durs[i]
+					maxIdx = i
+				}
+			}
+			rt.compute += max
+			var hx topo.ExchangeStats
+			if pr != nil {
+				gnow = pr.superstepCompute(it, gnow, durs, max, true)
+				hx = topo.ExchangeProbed(rt.net, rt.st.Halo[it], pr.linkAt(gnow))
+			} else {
+				hx = topo.Exchange(rt.net, rt.st.Halo[it])
+			}
+			rt.exchange += hx.Cycles
+			rt.exchangedBytes += hx.TotalBytes
+			if pr != nil {
+				gnow = pr.superstepComm(it, rt.iters, gnow, hx, lb, sb, maxIdx)
+			}
+		}
+	}
 }

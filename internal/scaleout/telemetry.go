@@ -44,6 +44,12 @@ type stepRec struct {
 	busDelta   int64
 	dramFrom   []int
 	dramTo     []int
+
+	// Post-step engine event-kernel counters, so dropBuffered can rewind
+	// pr.kern when a recovery discards pre-stepped iterations (the serial
+	// schedule never ran them, and the counters end up in the trace).
+	ev   int64
+	pend int
 }
 
 type probes struct {
@@ -200,6 +206,7 @@ func (pr *probes) bufferStep(i, it int) {
 	for _, t := range pr.dram[i] {
 		r.dramTo = append(r.dramTo, t.Len())
 	}
+	r.ev, r.pend = pr.kern[i].Dispatched, pr.kern[i].MaxPending
 }
 
 // placeBuffered is placeIter for a pre-stepped iteration: the same spans,
@@ -215,6 +222,27 @@ func (pr *probes) placeBuffered(i, it int, gs sim.Cycle) {
 	pr.node[i].Add(telemetry.SpanIter, gs, gs+(r.end-r.start), int64(it), r.busDelta)
 }
 
+// dropBuffered discards node i's un-placed DRAM spans from pre-stepped
+// iteration `from` on: the windowed elastic runtime calls it before a
+// recovery rolls the run back past those iterations, since the serial
+// schedule never stepped them and their spans must not survive on the
+// tracks. The spans of iterations >= from form the track tail (placement
+// happens in iteration order), so truncating to the buffered batch start
+// removes exactly them.
+func (pr *probes) dropBuffered(i, from int) {
+	r := &pr.buf[i][from]
+	for c, t := range pr.dram[i] {
+		t.Truncate(r.dramFrom[c])
+	}
+	k := &pr.kern[i]
+	if from > 0 {
+		p := &pr.buf[i][from-1]
+		k.Dispatched, k.MaxPending = p.ev, p.pend
+	} else {
+		k.Dispatched, k.MaxPending = 0, 0
+	}
+}
+
 // stall records one d-cycle whole-machine wait starting at gnow on the
 // runtime track and every node track, returning the new global time.
 func (pr *probes) stall(kind telemetry.SpanKind, it int, gnow, d sim.Cycle, bytes int64) sim.Cycle {
@@ -228,12 +256,24 @@ func (pr *probes) stall(kind telemetry.SpanKind, it int, gnow, d sim.Cycle, byte
 	return gnow + d
 }
 
+// place pins node i's iteration it onto the global timeline at gs: from
+// its live bracket scratch (serial paths, the step just ran) or from its
+// step buffer (windowed paths, the step ran rounds ago on a worker).
+func (pr *probes) place(i, it int, gs sim.Cycle, buffered bool) {
+	if buffered {
+		pr.placeBuffered(i, it, gs)
+	} else {
+		pr.placeIter(i, it, gs)
+	}
+}
+
 // superstepCompute places every node's just-stepped iteration at gnow,
 // fills the stragglers' idle windows up to the slowest node, records the
-// phase compute segment and returns the new global time.
-func (pr *probes) superstepCompute(it int, gnow sim.Cycle, durs []sim.Cycle, max sim.Cycle) sim.Cycle {
+// phase compute segment and returns the new global time. buffered selects
+// the step-buffer placement of the windowed (parallel) runtimes.
+func (pr *probes) superstepCompute(it int, gnow sim.Cycle, durs []sim.Cycle, max sim.Cycle, buffered bool) sim.Cycle {
 	for i := range pr.node {
-		pr.placeIter(i, it, gnow)
+		pr.place(i, it, gnow, buffered)
 		if durs[i] < max {
 			pr.node[i].Add(telemetry.SpanIdle, gnow+durs[i], gnow+max, int64(it), 0)
 		}
@@ -291,12 +331,12 @@ func (pr *probes) liveStall(kind telemetry.SpanKind, it int, gnow, d sim.Cycle, 
 }
 
 // liveCompute is superstepCompute restricted to live nodes.
-func (pr *probes) liveCompute(it int, gnow sim.Cycle, durs []sim.Cycle, live []bool, max sim.Cycle) {
+func (pr *probes) liveCompute(it int, gnow sim.Cycle, durs []sim.Cycle, live []bool, max sim.Cycle, buffered bool) {
 	for i := range pr.node {
 		if !live[i] {
 			continue
 		}
-		pr.placeIter(i, it, gnow)
+		pr.place(i, it, gnow, buffered)
 		if durs[i] < max {
 			pr.node[i].Add(telemetry.SpanIdle, gnow+durs[i], gnow+max, int64(it), 0)
 		}

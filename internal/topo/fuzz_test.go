@@ -82,6 +82,18 @@ func FuzzRoute(f *testing.F) {
 			t.Fatalf("%s: route %d->%d differs across instances: %v vs %v", net.Name(), s, d, path, tp)
 		}
 
+		// The per-pair PDES lookahead bound is the closed-form minimum of
+		// the pair's actual route: len(path) links of at least one cycle
+		// each, LatencyCycles between consecutive links.
+		pm := net.PairMinLatency(s, d)
+		if want := routeBound(len(path), net.LatencyCycles()); pm != want {
+			t.Fatalf("%s: PairMinLatency(%d,%d) = %d, route has %d links -> want %d",
+				net.Name(), s, d, pm, len(path), want)
+		}
+		if min := net.MinLatency(); pm < min {
+			t.Fatalf("%s: PairMinLatency(%d,%d) = %d below MinLatency %d", net.Name(), s, d, pm, min)
+		}
+
 		// Occupancy: a single uncontended message holds every path link for
 		// exactly Dur(b), store-and-forward, and lands at the closed-form
 		// delivery time.
@@ -106,6 +118,10 @@ func FuzzRoute(f *testing.F) {
 		if delivered != end {
 			t.Fatalf("%s: %d bytes %d->%d delivered at %d, want Dur+(hops-1)*(lat+Dur) = %d",
 				net.Name(), b, s, d, delivered, end)
+		}
+		if delivered < pm {
+			t.Fatalf("%s: %d bytes %d->%d delivered at %d, below PairMinLatency %d",
+				net.Name(), b, s, d, delivered, pm)
 		}
 		for l, free := range fl.free {
 			if free != 0 && !seen[l] {
