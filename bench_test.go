@@ -120,3 +120,8 @@ func BenchmarkScaleOut64xRebalanceParallel(b *testing.B) {
 func BenchmarkScaleOut64xElasticParallel(b *testing.B) {
 	benchsuite.Run(b, "ScaleOut64xElasticParallel")
 }
+
+// BenchmarkTenancyFleet measures one multi-tenant fleet simulation: six
+// mixed-width jobs time-sharing an 8-node fleet under fair-share
+// checkpoint preemption (seed blobs built off the clock).
+func BenchmarkTenancyFleet(b *testing.B) { benchsuite.Run(b, "TenancyFleet") }

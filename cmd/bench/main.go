@@ -47,6 +47,13 @@ type record struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+	// GOMAXPROCS and NumCPU pin the host parallelism every entry was
+	// measured under. Host-parallelism-sensitive metrics (the parallel
+	// runtime's speedup_vs_serial) are only comparable between records
+	// taken on matching core counts, and -check refuses to compare them
+	// otherwise.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
 	// Extra carries benchmark-reported metrics (testing.B.ReportMetric),
 	// e.g. the scale-out benchmarks' comm_frac and model_cycles.
 	Extra map[string]float64 `json:"extra,omitempty"`
@@ -59,6 +66,7 @@ type baseline struct {
 	GOOS       string   `json:"goos"`
 	GOARCH     string   `json:"goarch"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
 	BenchTime  string   `json:"benchtime"`
 	Benchmarks []record `json:"benchmarks"`
 }
@@ -99,6 +107,7 @@ func main() {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		BenchTime:  *benchtime,
 	}
 	if *cpuprofile != "" {
@@ -132,6 +141,8 @@ func main() {
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			NumCPU:      runtime.NumCPU(),
 		}
 		if r.Bytes > 0 && r.T > 0 {
 			rec.MBPerSec = float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
@@ -189,6 +200,39 @@ func main() {
 	}
 }
 
+// compareSpeedup reports the speedup_vs_serial drift for one matched
+// benchmark. The metric measures host parallelism, not simulator work,
+// so it is only meaningful between runs on identical core counts: the
+// comparison is skipped — with a warning naming the mismatch — when the
+// baseline record's gomaxprocs/num_cpu differ from the current run's, or
+// when a pre-v2 baseline recorded no core counts at all (the baseline
+// header's GOMAXPROCS stands in for per-record values when present).
+func compareSpeedup(base *baseline, old, cur record) {
+	bs, ok1 := old.Extra["speedup_vs_serial"]
+	cs, ok2 := cur.Extra["speedup_vs_serial"]
+	if !ok1 || !ok2 {
+		return
+	}
+	bProcs, bCPU := old.GOMAXPROCS, old.NumCPU
+	if bProcs == 0 {
+		bProcs = base.GOMAXPROCS
+	}
+	if bCPU == 0 {
+		bCPU = base.NumCPU
+	}
+	if bProcs == 0 || bCPU == 0 {
+		fmt.Printf("check: %-24s speedup_vs_serial not compared: baseline records no host core counts\n", cur.Name)
+		return
+	}
+	if bProcs != cur.GOMAXPROCS || bCPU != cur.NumCPU {
+		fmt.Printf("check: %-24s speedup_vs_serial not compared: baseline host %dP/%dC, current %dP/%dC\n",
+			cur.Name, bProcs, bCPU, cur.GOMAXPROCS, cur.NumCPU)
+		return
+	}
+	fmt.Printf("check: %-24s speedup_vs_serial %.2f -> %.2f (same %dP/%dC host)\n",
+		cur.Name, bs, cs, cur.GOMAXPROCS, cur.NumCPU)
+}
+
 // checkRegression compares the fresh records against the baseline file
 // and errors if the geometric mean of the matched ns/op ratios (current
 // over baseline) exceeds 1+threshold. Individual outliers are printed
@@ -204,10 +248,10 @@ func checkRegression(path string, cur []record, threshold float64, sel *regexp.R
 	if err := json.Unmarshal(buf, &base); err != nil {
 		return fmt.Errorf("check: parse %s: %v", path, err)
 	}
-	old := make(map[string]float64, len(base.Benchmarks))
+	old := make(map[string]record, len(base.Benchmarks))
 	for _, r := range base.Benchmarks {
 		if sel.MatchString(r.Name) {
-			old[r.Name] = r.NsPerOp
+			old[r.Name] = r
 		}
 	}
 	var logSum float64
@@ -219,16 +263,17 @@ func checkRegression(path string, cur []record, threshold float64, sel *regexp.R
 			continue
 		}
 		delete(old, r.Name)
-		if b <= 0 || r.NsPerOp <= 0 {
+		if b.NsPerOp <= 0 || r.NsPerOp <= 0 {
 			continue
 		}
-		ratio := r.NsPerOp / b
+		ratio := r.NsPerOp / b.NsPerOp
 		logSum += math.Log(ratio)
 		matched++
 		if ratio > 1+threshold || ratio < 1/(1+threshold) {
 			fmt.Printf("check: %-24s %.2fx vs. baseline (%.0f -> %.0f ns/op)\n",
-				r.Name, ratio, b, r.NsPerOp)
+				r.Name, ratio, b.NsPerOp, r.NsPerOp)
 		}
+		compareSpeedup(&base, b, r)
 	}
 	missing := make([]string, 0, len(old))
 	for name := range old {

@@ -24,6 +24,7 @@ import (
 	"nmppak/internal/scaleout"
 	"nmppak/internal/sim"
 	"nmppak/internal/telemetry"
+	"nmppak/internal/tenancy"
 	"nmppak/internal/topo"
 	"nmppak/internal/trace"
 )
@@ -101,6 +102,7 @@ func Suite() []Case {
 		{"ScaleOut64xBSPParallel", benchScaleOut64xBSPParallel},
 		{"ScaleOut64xRebalanceParallel", benchScaleOut64xRebalanceParallel},
 		{"ScaleOut64xElasticParallel", benchScaleOut64xElasticParallel},
+		{"TenancyFleet", benchTenancyFleet},
 	}
 }
 
@@ -381,6 +383,56 @@ func benchScaleOut8x(b *testing.B, overlap bool, tc topo.Config) {
 			ires.TotalCycles, last.TotalCycles)
 	}
 	b.StartTimer()
+}
+
+// benchTenancyFleet times one multi-tenant fleet simulation: six jobs
+// (two of them wide) time-sharing an 8-node fleet under fair-share
+// checkpoint preemption. The per-demand iteration-0 seed blobs are built
+// once off the clock — exactly how the experiments load sweep memoizes
+// identical-shape jobs — so the timed body is the fleet scheduler plus
+// the sliced runs themselves.
+func benchTenancyFleet(b *testing.B) {
+	c, t := setup()
+	mkcfg := func(n int) scaleout.Config {
+		cfg := scaleout.DefaultConfig(n)
+		cfg.K = c.W.K
+		cfg.MinCount = c.W.MinCount
+		cfg.Workers = c.W.Workers
+		return cfg
+	}
+	seeds := map[int][]byte{}
+	for _, n := range []int{2, 6} {
+		blob, err := scaleout.Checkpoint(c.Reads, t, mkcfg(n), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		seeds[n] = blob
+	}
+	demands := []int{2, 6, 2, 2, 6, 2}
+	jobs := make([]tenancy.Job, len(demands))
+	for i, d := range demands {
+		jobs[i] = tenancy.Job{
+			Name:    fmt.Sprintf("j%d-n%d", i, d),
+			Arrival: sim.Cycle(i * 50_000),
+			Trace:   t,
+			Config:  mkcfg(d),
+			Seed:    seeds[d],
+		}
+	}
+	f := tenancy.Fleet{Nodes: 8, Policy: tenancy.FairShare{}, Quantum: 1 << 18}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last *tenancy.Schedule
+	for i := 0; i < b.N; i++ {
+		sched, err := f.Run(jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = sched
+	}
+	b.ReportMetric(float64(last.Preemptions), "preemptions")
+	b.ReportMetric(last.Utilization, "fleet_util")
+	b.ReportMetric(float64(last.Makespan), "makespan_cycles")
 }
 
 func benchScaleOut8xBSP(b *testing.B) { benchScaleOut8x(b, false, topo.Default()) }

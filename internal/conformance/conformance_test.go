@@ -90,14 +90,23 @@ func TestCheckpointIterationSweep(t *testing.T) {
 // parallelDepths returns the pre-step depth column(s) of the parallel
 // sweep. The CI race matrix pins one depth per job via the
 // NMPPAK_PRESTEP_DEPTH environment variable; unset, both the default
-// depth and a deeper window run in-process.
-func parallelDepths() []int {
-	if v := os.Getenv("NMPPAK_PRESTEP_DEPTH"); v != "" {
-		if d, err := strconv.Atoi(v); err == nil && d > 0 {
-			return []int{d}
-		}
+// depth and a deeper window run in-process. A malformed value fails the
+// test instead of silently falling back — a typo in the CI matrix would
+// otherwise run the wrong sweep and still report green.
+func parallelDepths(t *testing.T) []int {
+	t.Helper()
+	v := os.Getenv("NMPPAK_PRESTEP_DEPTH")
+	if v == "" {
+		return []int{1, 3}
 	}
-	return []int{1, 3}
+	d, err := strconv.Atoi(v)
+	if err != nil {
+		t.Fatalf("NMPPAK_PRESTEP_DEPTH=%q is not an integer: %v", v, err)
+	}
+	if d <= 0 {
+		t.Fatalf("NMPPAK_PRESTEP_DEPTH=%q must be a positive pre-step depth", v)
+	}
+	return []int{d}
 }
 
 // TestParallelMatrix sweeps the serial-vs-parallel equivalence matrix:
@@ -114,7 +123,7 @@ func TestParallelMatrix(t *testing.T) {
 	if testing.Short() {
 		nodes = []int{4}
 	}
-	for _, c := range ParallelMatrix(nodes, parallelDepths()) {
+	for _, c := range ParallelMatrix(nodes, parallelDepths(t)) {
 		c := c
 		t.Run(c.Name(), func(t *testing.T) {
 			if err := VerifyParallel(f, c, 4); err != nil {

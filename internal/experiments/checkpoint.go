@@ -44,7 +44,21 @@ func CheckpointSave(c *Context, path string) (*Report, error) {
 		return nil, err
 	}
 	cfg := checkpointConfig(c)
-	at := len(tr.Iterations) / 2
+	// Pause at the middle boundary, clamped into [1, iters]: a one- or
+	// two-iteration trace would otherwise round down to boundary 0 — a
+	// legal blob, but a degenerate demo that replays the entire run on
+	// restore. An empty trace has no boundary to pause at.
+	iters := len(tr.Iterations)
+	if iters == 0 {
+		return nil, fmt.Errorf("experiments: workload compacted in zero iterations; nothing to checkpoint mid-run")
+	}
+	at := iters / 2
+	if at < 1 {
+		at = 1
+	}
+	if at > iters {
+		at = iters
+	}
 	blob, err := scaleout.Checkpoint(c.Reads, tr, cfg, at)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,305 @@
+// Multi-tenant fleet study: the cmd/experiments -tenancy flag. A fixed
+// 8-node fleet time-shares a stream of assembly jobs under the
+// checkpoint-preemptive scheduler (internal/tenancy); the sweep walks
+// offered load (arrival rate) against two job-size mixes and reports the
+// latency/throughput curve, locating the saturation knee where queueing
+// takes over. A policy comparison at the knee shows what strict-priority
+// and fair-share preemption buy over FIFO on the skewed mix, and every
+// preempted tenant's result is cross-checked bit for bit against its
+// uninterrupted run — the same property the tenancy test suite pins.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+
+	"nmppak/internal/report"
+	"nmppak/internal/scaleout"
+	"nmppak/internal/sim"
+	"nmppak/internal/tenancy"
+)
+
+// tenancyFleetNodes is the fixed fleet size of the study.
+const tenancyFleetNodes = 8
+
+// tenancyJobsPerRun is the jobs admitted per sweep point.
+const tenancyJobsPerRun = 8
+
+// tenancyLoads are the offered-load levels: demanded node-cycles per
+// fleet-node-cycle. Below 1 the fleet keeps up; above 1 queues grow with
+// the backlog and latency is dominated by waiting.
+var tenancyLoads = []float64{0.25, 0.5, 1, 2, 4}
+
+// tenancyMixes are the job-size mixes (repeating node-demand patterns).
+// The skewed mix interleaves a fleet-hogging wide job among narrow ones —
+// the case head-of-line blocking and preemption actually separate on.
+var tenancyMixes = []struct {
+	name    string
+	demands []int
+}{
+	{"uniform", []int{2, 2, 2, 2}},
+	{"skewed", []int{2, 2, 2, 6}},
+}
+
+// tenancySeeds memoizes, per node demand, the iteration-0 checkpoint
+// blob every identical-shape job shares (skipping the software prelude
+// at each admission) and the uninterrupted reference result used for
+// load normalization and the bit-exactness cross-check.
+type tenancySeeds struct {
+	c     *Context
+	seeds map[int][]byte
+	refs  map[int]*scaleout.Result
+}
+
+func newTenancySeeds(c *Context) *tenancySeeds {
+	return &tenancySeeds{c: c, seeds: map[int][]byte{}, refs: map[int]*scaleout.Result{}}
+}
+
+func (s *tenancySeeds) cfg(demand int) scaleout.Config { return scaleOutConfig(s.c.W, demand) }
+
+func (s *tenancySeeds) seed(demand int) ([]byte, error) {
+	if b, ok := s.seeds[demand]; ok {
+		return b, nil
+	}
+	tr, err := s.c.Trace()
+	if err != nil {
+		return nil, err
+	}
+	b, err := scaleout.Checkpoint(s.c.Reads, tr, s.cfg(demand), 0)
+	if err != nil {
+		return nil, err
+	}
+	s.seeds[demand] = b
+	return b, nil
+}
+
+func (s *tenancySeeds) ref(demand int) (*scaleout.Result, error) {
+	if r, ok := s.refs[demand]; ok {
+		return r, nil
+	}
+	b, err := s.seed(demand)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := s.c.Trace()
+	if err != nil {
+		return nil, err
+	}
+	r, err := scaleout.Restore(tr, s.cfg(demand), b)
+	if err != nil {
+		return nil, err
+	}
+	s.refs[demand] = r
+	return r, nil
+}
+
+// jobs builds the deterministic arrival stream for one sweep point: the
+// mix pattern repeated over tenancyJobsPerRun jobs, inter-arrival gaps
+// jittered around the mean implied by the offered load (seeded PRNG, so
+// the stream is a pure function of mix, load and seed). prio maps a
+// job's demand to its priority (nil = all zero).
+func (s *tenancySeeds) jobs(demands []int, load float64, seed int64, prio func(demand int) int) ([]tenancy.Job, error) {
+	tr, err := s.c.Trace()
+	if err != nil {
+		return nil, err
+	}
+	// Mean demanded node-cycles per job over the mix pattern sets the
+	// arrival gap: load = meanNodeCycles / (gap × fleetNodes).
+	var mean float64
+	for _, d := range demands {
+		r, err := s.ref(d)
+		if err != nil {
+			return nil, err
+		}
+		mean += float64(r.TotalCycles) * float64(d)
+	}
+	mean /= float64(len(demands))
+	gap := mean / (load * tenancyFleetNodes)
+	rng := rand.New(rand.NewSource(seed))
+	jobs := make([]tenancy.Job, 0, tenancyJobsPerRun)
+	at := 0.0
+	for i := 0; i < tenancyJobsPerRun; i++ {
+		d := demands[i%len(demands)]
+		blob, err := s.seed(d)
+		if err != nil {
+			return nil, err
+		}
+		p := 0
+		if prio != nil {
+			p = prio(d)
+		}
+		jobs = append(jobs, tenancy.Job{
+			Name:     fmt.Sprintf("j%02d-n%d", i, d),
+			Priority: p,
+			Arrival:  sim.Cycle(at),
+			Trace:    tr,
+			Config:   s.cfg(d),
+			Seed:     blob,
+		})
+		at += gap * (0.5 + rng.Float64())
+	}
+	return jobs, nil
+}
+
+// latencyMS collects per-tenant latencies in milliseconds.
+func latencyMS(sched *tenancy.Schedule) []float64 {
+	out := make([]float64, len(sched.Tenants))
+	for i := range sched.Tenants {
+		out[i] = sim.Seconds(sched.Tenants[i].Latency) * 1e3
+	}
+	return out
+}
+
+// pctile returns the p-th percentile (nearest-rank) of v.
+func pctile(v []float64, p float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	i := int(math.Ceil(p*float64(len(s)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return s[i]
+}
+
+// exactResumes counts tenants whose fleet Result is reflect.DeepEqual to
+// the uninterrupted run of the same shape.
+func (s *tenancySeeds) exactResumes(sched *tenancy.Schedule) (int, error) {
+	n := 0
+	for i := range sched.Tenants {
+		want, err := s.ref(sched.Tenants[i].Demand)
+		if err != nil {
+			return 0, err
+		}
+		if reflect.DeepEqual(sched.Tenants[i].Result, want) {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Tenancy runs the multi-tenant fleet study: the load sweep per job-size
+// mix under fair-share scheduling, the saturation knee per mix, and the
+// policy comparison (FIFO vs. strict priority vs. fair share) on the
+// skewed mix at the knee.
+func Tenancy(c *Context) (*Report, error) {
+	s := newTenancySeeds(c)
+	measured := map[string]float64{}
+	text := ""
+
+	for _, mix := range tenancyMixes {
+		t := &report.Table{
+			Title: fmt.Sprintf("Load sweep, %s mix (demands %v), %d nodes, fair-share",
+				mix.name, mix.demands, tenancyFleetNodes),
+			Headers: []string{"load", "p50 lat (ms)", "p95 lat (ms)", "jobs/s", "preempt", "ckpt MB", "util"},
+		}
+		base, knee := 0.0, 0.0
+		for _, load := range tenancyLoads {
+			jobs, err := s.jobs(mix.demands, load, 1, nil)
+			if err != nil {
+				return nil, err
+			}
+			f := tenancy.Fleet{Nodes: tenancyFleetNodes, Policy: tenancy.FairShare{}}
+			sched, err := f.Run(jobs)
+			if err != nil {
+				return nil, err
+			}
+			lat := latencyMS(sched)
+			p50, p95 := pctile(lat, 0.50), pctile(lat, 0.95)
+			if base == 0 {
+				base = p95
+			}
+			// Saturation knee: the first load whose p95 latency more than
+			// doubles the light-load p95 — queueing has taken over.
+			if knee == 0 && p95 > 2*base {
+				knee = load
+			}
+			t.AddRow(fmt.Sprintf("%.2f", load), fmt.Sprintf("%.3f", p50), fmt.Sprintf("%.3f", p95),
+				fmt.Sprintf("%.1f", sched.Throughput()), sched.Preemptions,
+				fmt.Sprintf("%.2f", float64(sched.CheckpointBytes)/1e6),
+				report.Percent(sched.Utilization))
+			measured[fmt.Sprintf("p95_ms_%s_load%g", mix.name, load)] = p95
+			measured[fmt.Sprintf("util_%s_load%g", mix.name, load)] = sched.Utilization
+		}
+		text += t.String()
+		if knee > 0 {
+			text += fmt.Sprintf("saturation knee at load %.2f (p95 latency > 2x the light-load p95)\n\n", knee)
+		} else {
+			text += "no saturation knee inside the swept range\n\n"
+		}
+		measured["knee_load_"+mix.name] = knee
+	}
+
+	// Policy comparison at the skewed mix's knee load, on the pattern the
+	// three policies actually separate on: a fleet-wide batch job arrives
+	// first, narrow high-priority jobs queue behind it. FIFO head-of-line
+	// blocks the narrows for the whole batch; strict priority checkpoints
+	// the batch at its next iteration boundary; fair share rotates.
+	policyDemands := []int{tenancyFleetNodes, 2, 2, 2}
+	prio := func(demand int) int {
+		if demand <= 2 {
+			return 1
+		}
+		return 0
+	}
+	kneeLoad := measured["knee_load_skewed"]
+	if kneeLoad == 0 {
+		kneeLoad = tenancyLoads[len(tenancyLoads)-1]
+	}
+	pt := &report.Table{
+		Title: fmt.Sprintf("Policy comparison, fleet-wide batch + narrow mix (demands %v) at load %.2f",
+			policyDemands, kneeLoad),
+		Headers: []string{"policy", "p50 lat (ms)", "p95 lat (ms)", "narrow p95", "jobs/s", "preempt", "util", "exact resumes"},
+	}
+	var fairSched *tenancy.Schedule
+	exactAll := true
+	for _, pol := range []tenancy.Policy{tenancy.FIFO{}, tenancy.Priority{}, tenancy.FairShare{}} {
+		jobs, err := s.jobs(policyDemands, kneeLoad, 1, prio)
+		if err != nil {
+			return nil, err
+		}
+		f := tenancy.Fleet{Nodes: tenancyFleetNodes, Policy: pol}
+		sched, err := f.Run(jobs)
+		if err != nil {
+			return nil, err
+		}
+		lat := latencyMS(sched)
+		var narrow []float64
+		for i := range sched.Tenants {
+			if sched.Tenants[i].Demand <= 2 {
+				narrow = append(narrow, sim.Seconds(sched.Tenants[i].Latency)*1e3)
+			}
+		}
+		exact, err := s.exactResumes(sched)
+		if err != nil {
+			return nil, err
+		}
+		exactAll = exactAll && exact == len(sched.Tenants)
+		pt.AddRow(pol.Name(), fmt.Sprintf("%.3f", pctile(lat, 0.5)), fmt.Sprintf("%.3f", pctile(lat, 0.95)),
+			fmt.Sprintf("%.3f", pctile(narrow, 0.95)), fmt.Sprintf("%.1f", sched.Throughput()),
+			sched.Preemptions, report.Percent(sched.Utilization),
+			fmt.Sprintf("%d/%d", exact, len(sched.Tenants)))
+		measured["p95_ms_"+pol.Name()] = pctile(lat, 0.95)
+		measured["narrow_p95_ms_"+pol.Name()] = pctile(narrow, 0.95)
+		measured["preemptions_"+pol.Name()] = float64(sched.Preemptions)
+		if pol.Name() == "fair" {
+			fairSched = sched
+		}
+	}
+	text += pt.String()
+	measured["bit_identical_resume"] = b2f(exactAll)
+	text += fmt.Sprintf("every preempted-and-resumed tenant result bit-identical to its uninterrupted run: %v\n\n", exactAll)
+	text += report.Tenancy(fairSched)
+
+	return &Report{
+		ID:       "tenancy",
+		Title:    "Multi-tenant fleet: checkpoint-preemptive scheduling under load",
+		Text:     text,
+		Measured: measured,
+	}, nil
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tenancyCtx is a dedicated extra-small workload: the sweep runs the
+// whole fleet simulation at five load levels per mix, so the per-job
+// service time has to stay tiny.
+var tenancyCtxCache *Context
+
+func tenancyCtx(t *testing.T) *Context {
+	t.Helper()
+	if tenancyCtxCache == nil {
+		w := QuickWorkload()
+		w.GenomeLen = 20_000
+		w.Coverage = 15
+		c, err := NewContext(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tenancyCtxCache = c
+	}
+	return tenancyCtxCache
+}
+
+func TestTenancyReport(t *testing.T) {
+	r, err := Tenancy(tenancyCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Load sweep, uniform mix", "Load sweep, skewed mix",
+		"Policy comparison", "per-tenant outcome", "saturation knee"} {
+		if !strings.Contains(r.Text, want) {
+			t.Fatalf("report missing %q:\n%s", want, r.Text)
+		}
+	}
+	// Acceptance: preemption round-trips stay exact under every policy.
+	if r.Measured["bit_identical_resume"] != 1 {
+		t.Fatalf("preempted tenants not bit-identical to uninterrupted runs:\n%s", r.Text)
+	}
+	// The skewed mix must saturate inside the swept range, and latency
+	// must degrade across the knee.
+	knee := r.Measured["knee_load_skewed"]
+	if knee == 0 {
+		t.Fatalf("no saturation knee on the skewed mix:\n%s", r.Text)
+	}
+	lo := r.Measured["p95_ms_skewed_load0.25"]
+	hi := r.Measured["p95_ms_skewed_load4"]
+	if !(0 < lo && lo < hi) {
+		t.Fatalf("p95 latency did not grow with load: %.3f -> %.3f", lo, hi)
+	}
+	// Priority must protect the narrow high-priority jobs relative to
+	// FIFO's head-of-line blocking, and must actually preempt.
+	if r.Measured["preemptions_priority"] == 0 {
+		t.Fatalf("priority policy never preempted:\n%s", r.Text)
+	}
+	if r.Measured["narrow_p95_ms_priority"] > r.Measured["narrow_p95_ms_fifo"] {
+		t.Fatalf("priority narrow-job p95 %.3f worse than FIFO %.3f",
+			r.Measured["narrow_p95_ms_priority"], r.Measured["narrow_p95_ms_fifo"])
+	}
+	// Utilization stays a fraction at light load.
+	if u := r.Measured["util_uniform_load0.25"]; u <= 0 || u > 1 {
+		t.Fatalf("light-load utilization %v out of range", u)
+	}
+}

@@ -1,0 +1,42 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"nmppak/internal/sim"
+	"nmppak/internal/tenancy"
+)
+
+// Tenancy renders a fleet schedule: the fleet summary (makespan,
+// throughput, utilization, preemption traffic) followed by one row per
+// tenant with its latency decomposition (service + checkpoint/restore
+// overhead + queueing wait).
+func Tenancy(s *tenancy.Schedule) string {
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf(
+		"fleet: %d nodes, policy %s, %d jobs, makespan %d cycles (%.3g ms), %.3g jobs/s\n",
+		s.Nodes, s.Policy, s.Jobs, s.Makespan, sim.Seconds(s.Makespan)*1e3, s.Throughput()))
+	sb.WriteString(fmt.Sprintf(
+		"utilization %s (%d busy + %d stall node-cycles), %d preemptions moving %d checkpoint bytes\n\n",
+		Percent(s.Utilization), s.BusyNodeCycles, s.StallNodeCycles, s.Preemptions, s.CheckpointBytes))
+	t := &Table{
+		Title: "per-tenant outcome",
+		Headers: []string{"tenant", "prio", "demand", "kind", "arrive", "start",
+			"finish", "latency", "service", "overhead", "wait", "preempt", "slices"},
+	}
+	for i := range s.Tenants {
+		ts := &s.Tenants[i]
+		kind := "shared"
+		if ts.Dedicated {
+			kind = "dedicated"
+		}
+		t.AddRow(ts.Name, ts.Priority, ts.Demand, kind,
+			fmt.Sprintf("%d", ts.Arrival), fmt.Sprintf("%d", ts.Started),
+			fmt.Sprintf("%d", ts.Finish), fmt.Sprintf("%d", ts.Latency),
+			fmt.Sprintf("%d", ts.ServiceCycles), fmt.Sprintf("%d", ts.OverheadCycles),
+			fmt.Sprintf("%d", ts.WaitCycles), ts.Preemptions, ts.Slices)
+	}
+	sb.WriteString(t.String())
+	return sb.String()
+}

@@ -42,6 +42,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"hash/fnv"
 
@@ -72,6 +73,14 @@ const (
 // checkpointMagic prefixes every blob, before the little-endian uint32
 // version tag and the gob-encoded CheckpointState payload.
 const checkpointMagic = "NMPPAK-CKPT\n"
+
+// ErrElasticConfig is wrapped by Checkpoint and Restore when the
+// configuration routes through the elastic runtime (CheckpointEvery /
+// Faults): elastic runs manage their own in-memory recovery ring and are
+// not externally pause-and-resumable. Schedulers detect non-preemptible
+// jobs with errors.Is(err, ErrElasticConfig) — the tenancy layer queues
+// such fault-plan tenants on dedicated nodes instead of time-slicing them.
+var ErrElasticConfig = errors.New("elastic config (CheckpointEvery/Faults) manages its own recovery checkpoints")
 
 // RebalanceState is the dynamic-ownership runtime's extra checkpoint
 // state: the migrated bucket table and the measurements feeding the next
@@ -174,7 +183,7 @@ func Checkpoint(reads []readsim.Read, tr *trace.Trace, cfg Config, beforeIter in
 		return nil, err
 	}
 	if cfg.elastic() {
-		return nil, fmt.Errorf("scaleout: Checkpoint pauses a deterministic run; the elastic runtime (CheckpointEvery/Faults) manages its own recovery checkpoints")
+		return nil, fmt.Errorf("scaleout: Checkpoint pauses a deterministic run; %w", ErrElasticConfig)
 	}
 	iters := len(tr.Iterations)
 	if beforeIter < 0 || beforeIter > iters {
@@ -193,21 +202,7 @@ func Checkpoint(reads []readsim.Read, tr *trace.Trace, cfg Config, beforeIter in
 	if err != nil {
 		return nil, err
 	}
-	ck := &CheckpointState{
-		Version:               CheckpointVersion,
-		ConfigDigest:          configDigest(cfg, net.Name()),
-		TraceDigest:           traceDigest(tr),
-		Nodes:                 cfg.Nodes,
-		K:                     cfg.K,
-		Overlap:               cfg.Overlap,
-		Partitioner:           cfg.Partitioner.Name(),
-		Topology:              net.Name(),
-		Count:                 res.Count,
-		Construct:             res.Construct,
-		PerNode:               res.PerNode,
-		PreludeExchangedBytes: res.ExchangedBytes,
-		ResumeIter:            beforeIter,
-	}
+	ck := checkpointHeader(cfg, net, tr, res, beforeIter)
 
 	// Advance the compaction runtime to the pause point. The engines are
 	// stepped on their local back-to-back clocks (identical in both
@@ -272,6 +267,29 @@ func Checkpoint(reads []readsim.Read, tr *trace.Trace, cfg Config, beforeIter in
 	return ck.Marshal()
 }
 
+// checkpointHeader builds the identity and prelude sections of a
+// CheckpointState from a prelude Result: everything except the live
+// compaction-runtime state (durations, engines, partial sums). Shared by
+// Checkpoint and Session.Checkpoint so an incrementally advanced session
+// snapshots byte-identically to a one-shot capture at the same boundary.
+func checkpointHeader(cfg Config, net topo.Network, tr *trace.Trace, res *Result, beforeIter int) *CheckpointState {
+	return &CheckpointState{
+		Version:               CheckpointVersion,
+		ConfigDigest:          configDigest(cfg, net.Name()),
+		TraceDigest:           traceDigest(tr),
+		Nodes:                 cfg.Nodes,
+		K:                     cfg.K,
+		Overlap:               cfg.Overlap,
+		Partitioner:           cfg.Partitioner.Name(),
+		Topology:              net.Name(),
+		Count:                 res.Count,
+		Construct:             res.Construct,
+		PerNode:               res.PerNode,
+		PreludeExchangedBytes: res.ExchangedBytes,
+		ResumeIter:            beforeIter,
+	}
+}
+
 // snapshotInto records the executed durations and the per-node engine
 // snapshots on the checkpoint.
 func snapshotInto(ck *CheckpointState, durations [][]sim.Cycle, engines []*nmp.Engine) error {
@@ -304,7 +322,7 @@ func Restore(tr *trace.Trace, cfg Config, blob []byte) (*Result, error) {
 		return nil, err
 	}
 	if cfg.elastic() {
-		return nil, fmt.Errorf("scaleout: Restore resumes a deterministic run; the elastic runtime (CheckpointEvery/Faults) manages its own recovery checkpoints")
+		return nil, fmt.Errorf("scaleout: Restore resumes a deterministic run; %w", ErrElasticConfig)
 	}
 	if err := ck.matches(tr, cfg, net); err != nil {
 		return nil, err

@@ -371,3 +371,66 @@ func TestElasticFrozenCasualty(t *testing.T) {
 		t.Fatal("survivors + frozen casualty do not tile the global work")
 	}
 }
+
+// Two node losses landing inside one detection window on an 8-node
+// machine: the recovery must absorb both casualties (whether it detects
+// them together or back to back), conserve the committed output against
+// the fault-free run, and replay deterministically. This is the scenario
+// a pairwise-only recovery path gets wrong — e.g. re-partitioning to
+// survivors of the first loss while the second victim is already dead.
+func TestElasticDoubleLossSameWindow(t *testing.T) {
+	reads := testReads(t, 20_000)
+	tr := testTrace(t, reads, 32, 3)
+	for _, overlap := range []bool{false, true} {
+		name := map[bool]string{false: "bsp", true: "overlap"}[overlap]
+		t.Run(name, func(t *testing.T) {
+			base := DefaultConfig(8)
+			base.Overlap = overlap
+			golden, err := Simulate(reads, tr, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantNMP, wantCPU := conserved(golden)
+
+			const detect = 500
+			at := golden.Compact.Total() / 2
+			cfg := base
+			cfg.CheckpointEvery = 2
+			cfg.Faults = &fault.Plan{
+				Events: []fault.Event{
+					{Kind: fault.NodeLoss, Node: 2, Cycle: at},
+					{Kind: fault.NodeLoss, Node: 5, Cycle: at + detect/5},
+				},
+				DetectCycles: detect,
+			}
+			res, err := Simulate(reads, tr, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.NodesLost != 2 || res.FaultsInjected != 2 {
+				t.Fatalf("lost=%d injected=%d, want 2/2", res.NodesLost, res.FaultsInjected)
+			}
+			if res.Recoveries < 1 || res.Recoveries > 2 {
+				t.Fatalf("recoveries=%d, want 1 (batched) or 2 (back to back)", res.Recoveries)
+			}
+			if gotNMP, gotCPU := conserved(res); gotNMP != wantNMP || gotCPU != wantCPU {
+				t.Fatalf("committed output not conserved: %d/%d MacroNodes vs fault-free %d/%d",
+					gotNMP, gotCPU, wantNMP, wantCPU)
+			}
+			if res.TotalCycles <= golden.TotalCycles {
+				t.Fatalf("doubly-recovered run (%d cycles) not slower than fault-free (%d)",
+					res.TotalCycles, golden.TotalCycles)
+			}
+			if res.RecoveryCycles < detect {
+				t.Fatalf("recovery cycles %d below the detection latency", res.RecoveryCycles)
+			}
+			again, err := Simulate(reads, tr, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(again, res) {
+				t.Fatalf("double-loss recovery not deterministic:\n%+v\nvs\n%+v", again, res)
+			}
+		})
+	}
+}

@@ -34,7 +34,7 @@ func (c *Collector) WriteChrome(w io.Writer) error {
 	}
 	// Process/thread naming metadata: one process per kind present, one
 	// thread per track.
-	seen := [4]bool{}
+	seen := [5]bool{}
 	for _, t := range c.tracks {
 		if !seen[t.Kind] {
 			seen[t.Kind] = true
@@ -50,13 +50,22 @@ func (c *Collector) WriteChrome(w io.Writer) error {
 		pid, tid := chromePID(t.Kind), t.ID+1
 		for i := range t.Spans {
 			s := &t.Spans[i]
+			// Tenant possession slices render under the tenant's label so
+			// Perfetto (which colors by event name) paints each tenant its
+			// own color across the fleet timeline.
+			name := s.Kind.String()
+			if s.Kind == SpanTenant {
+				if l, ok := c.Label(s.Arg1); ok {
+					name = l
+				}
+			}
 			if s.Start == s.End {
 				ev(`{"ph":"i","s":"t","pid":%d,"tid":%d,"ts":%d,"name":%q,"args":{"arg1":%d,"arg2":%d}}`,
-					pid, tid, s.Start, s.Kind.String(), s.Arg1, s.Arg2)
+					pid, tid, s.Start, name, s.Arg1, s.Arg2)
 				continue
 			}
 			ev(`{"ph":"X","pid":%d,"tid":%d,"ts":%d,"dur":%d,"name":%q,"args":{"arg1":%d,"arg2":%d}}`,
-				pid, tid, s.Start, s.End-s.Start, s.Kind.String(), s.Arg1, s.Arg2)
+				pid, tid, s.Start, s.End-s.Start, name, s.Arg1, s.Arg2)
 		}
 	}
 	bw.WriteString("\n]}\n")

@@ -32,6 +32,11 @@ const (
 	TrackLink
 	// TrackDRAM is one DRAM channel's data bus (burst-train windows).
 	TrackDRAM
+	// TrackFleet is a multi-tenant fleet resource: the scheduler's
+	// per-fleet-node possession timeline or one tenant's lifecycle track
+	// (see internal/tenancy). Excluded from the single-run utilization
+	// aggregates — fleet accounting is the scheduler's own.
+	TrackFleet
 )
 
 // String names the kind (used as the Chrome-trace process name).
@@ -45,6 +50,8 @@ func (k TrackKind) String() string {
 		return "links"
 	case TrackDRAM:
 		return "dram"
+	case TrackFleet:
+		return "fleet"
 	}
 	return "unknown"
 }
@@ -108,6 +115,23 @@ const (
 	// re-partitioned across survivors over the (degraded) interconnect.
 	// Arg1 = resume iteration, Arg2 = migrated bytes. Counted as comm.
 	SpanRepartition
+	// SpanTenant is one tenant's possession slice on a fleet-node track
+	// (or its whole service window on its own tenant track). The Chrome
+	// exporter renders it under the tenant's registered label (see
+	// Collector.SetLabel), so each tenant gets its own color.
+	// Arg1 = tenant ID, Arg2 = iterations executed in the slice.
+	SpanTenant
+	// SpanTenantWait is time a tenant spends admitted but not running
+	// (queued, or parked preempted). Arg1 = tenant ID.
+	SpanTenantWait
+	// SpanTenantCheckpoint is a preemption capture stall: the victim's
+	// state draining to a blob at its iteration boundary.
+	// Arg1 = tenant ID, Arg2 = blob bytes.
+	SpanTenantCheckpoint
+	// SpanTenantRestore is a placement restore stall: the resuming
+	// tenant's blob streaming back in. Arg1 = tenant ID, Arg2 = blob
+	// bytes.
+	SpanTenantRestore
 )
 
 // String names the span kind (used as the Chrome-trace event name).
@@ -143,6 +167,14 @@ func (k SpanKind) String() string {
 		return "restore"
 	case SpanRepartition:
 		return "repartition"
+	case SpanTenant:
+		return "tenant"
+	case SpanTenantWait:
+		return "tenant_wait"
+	case SpanTenantCheckpoint:
+		return "tenant_checkpoint"
+	case SpanTenantRestore:
+		return "tenant_restore"
 	}
 	return "span"
 }
@@ -284,6 +316,7 @@ type Collector struct {
 	tracks   []*Track
 	deps     []Dep
 	counters []Counter
+	labels   map[int64]string
 }
 
 // New returns an empty collector.
@@ -299,6 +332,23 @@ func (c *Collector) NewTrack(kind TrackKind, id int, name string) *Track {
 
 // Tracks returns every registered track in creation order.
 func (c *Collector) Tracks() []*Track { return c.tracks }
+
+// SetLabel registers a display label for an entity ID (a tenant, keyed by
+// its SpanTenant Arg1). The Chrome exporter names tenant spans by label,
+// which is what colors a fleet timeline per tenant — Perfetto assigns
+// colors by event name.
+func (c *Collector) SetLabel(id int64, name string) {
+	if c.labels == nil {
+		c.labels = make(map[int64]string)
+	}
+	c.labels[id] = name
+}
+
+// Label resolves a registered label; ok is false if none was set.
+func (c *Collector) Label(id int64) (string, bool) {
+	name, ok := c.labels[id]
+	return name, ok
+}
 
 // AddDep records one iteration-start dependency.
 func (c *Collector) AddDep(node, iter int, bound Bound, src int) {
@@ -333,4 +383,5 @@ func (c *Collector) Reset() {
 	c.tracks = c.tracks[:0]
 	c.deps = c.deps[:0]
 	c.counters = c.counters[:0]
+	c.labels = nil
 }

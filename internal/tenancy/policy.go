@@ -1,0 +1,126 @@
+// Scheduling policies: who gets free nodes, and who gives theirs up.
+// All three built-ins are deterministic — every tie breaks on (arrival,
+// ID) — so the fleet timeline is a pure function of the job list.
+package tenancy
+
+// Policy decides placement and preemption. The fleet loop calls Pick on
+// every scheduling pass (admissions, releases, finishes) and Yield at
+// every running preemptible tenant's iteration boundary.
+//
+// Pick returns an index into pending — ordered by (arrival, ID) — whose
+// tenant's Demand fits the free node count, or -1 to leave the nodes
+// idle. Yield reports whether the running tenant must checkpoint and
+// release its nodes at this boundary; running lists every tenant
+// currently holding nodes (sorted by ID), including t itself.
+type Policy interface {
+	Name() string
+	Pick(pending []*Tenant, free int) int
+	Yield(t *Tenant, pending, running []*Tenant, free int) bool
+}
+
+// FIFO is strict arrival order, non-preemptive: the head of the queue
+// places when (and only when) its demand fits — smaller jobs never jump
+// a blocked head — and a placed job runs to completion.
+type FIFO struct{}
+
+// Name implements Policy.
+func (FIFO) Name() string { return "fifo" }
+
+// Pick implements Policy: the queue head, head-of-line blocking and all.
+func (FIFO) Pick(pending []*Tenant, free int) int {
+	if len(pending) > 0 && pending[0].Demand <= free {
+		return 0
+	}
+	return -1
+}
+
+// Yield implements Policy: never.
+func (FIFO) Yield(*Tenant, []*Tenant, []*Tenant, int) bool { return false }
+
+// Priority is strict-priority, preemptive: the highest-priority pending
+// job places first (ties by arrival, then ID), and a higher-priority
+// arrival preempts enough lower-priority tenants at their next iteration
+// boundaries to fit — each victim is checkpointed and re-queued.
+type Priority struct{}
+
+// Name implements Policy.
+func (Priority) Name() string { return "priority" }
+
+// Pick implements Policy: highest priority that fits.
+func (Priority) Pick(pending []*Tenant, free int) int {
+	best := -1
+	for i, p := range pending {
+		if p.Demand > free {
+			continue
+		}
+		if best < 0 || p.Priority > pending[best].Priority {
+			best = i
+		}
+	}
+	return best
+}
+
+// Yield implements Policy: give way when a strictly higher-priority
+// pending job could fit once the lower-priority tenants' nodes free up.
+// Every lower-priority tenant whose release contributes yields, so a
+// wide high-priority job can displace several narrow victims at once.
+func (Priority) Yield(t *Tenant, pending, running []*Tenant, free int) bool {
+	// Nodes reclaimable from tenants at or below t's priority (including
+	// t itself): what the pending job could get without touching anyone
+	// more important.
+	for _, p := range pending {
+		if p.Priority <= t.Priority {
+			continue
+		}
+		reclaimable := free
+		for _, q := range running {
+			if q.Priority < p.Priority && !q.Dedicated {
+				reclaimable += q.Demand
+			}
+		}
+		if p.Demand <= reclaimable {
+			return true
+		}
+	}
+	return false
+}
+
+// FairShare is deficit round-robin over measured machine cycles: each
+// placement grants the tenant one Quantum of credit, every boundary
+// drains the slice's measured cycles, and a tenant whose credit is
+// exhausted yields as soon as another job could use its nodes (the
+// overrun carries as a negative deficit, so a coarse-grained iteration
+// pays it back later — classic DRR). Placement order is least attained
+// service first, so short and starved jobs catch up.
+type FairShare struct{}
+
+// Name implements Policy.
+func (FairShare) Name() string { return "fair" }
+
+// Pick implements Policy: least ServiceCycles that fits (ties by
+// arrival, then ID — the pending order).
+func (FairShare) Pick(pending []*Tenant, free int) int {
+	best := -1
+	for i, p := range pending {
+		if p.Demand > free {
+			continue
+		}
+		if best < 0 || p.ServiceCycles < pending[best].ServiceCycles {
+			best = i
+		}
+	}
+	return best
+}
+
+// Yield implements Policy: quantum exhausted and somebody could run.
+func (FairShare) Yield(t *Tenant, pending, running []*Tenant, free int) bool {
+	if t.Deficit > 0 {
+		return false
+	}
+	for _, p := range pending {
+		if p.Demand <= free+t.Demand {
+			return true
+		}
+	}
+	return false
+}

@@ -33,6 +33,7 @@ import (
 	"nmppak/internal/scaleout"
 	"nmppak/internal/sim"
 	"nmppak/internal/telemetry"
+	"nmppak/internal/tenancy"
 	"nmppak/internal/topo"
 	"nmppak/internal/trace"
 )
@@ -148,7 +149,42 @@ type (
 	FaultEvent = fault.Event
 	// FaultKind classifies a FaultEvent (node loss, link degrade/outage).
 	FaultKind = fault.Kind
+	// ScaleOutSession is a pausable scale-out run: Step executes
+	// compaction iterations in slices, Checkpoint exports the paused
+	// state as a blob (byte-identical to CheckpointScaleOut at the same
+	// boundary), Finish completes the run bit-identically to
+	// SimulateScaleOut. The multi-tenant fleet scheduler preempts through
+	// it.
+	ScaleOutSession = scaleout.Session
+	// Fleet is a fixed pool of simulated NMP nodes time-shared by many
+	// assembly jobs under checkpoint-based preemption (see FleetJob,
+	// FleetPolicy and Fleet.Run).
+	Fleet = tenancy.Fleet
+	// FleetJob is one tenant's admission request: workload trace, node
+	// demand (Config.Nodes), priority and deterministic arrival cycle.
+	FleetJob = tenancy.Job
+	// FleetSchedule is a fleet simulation outcome: makespan, utilization,
+	// preemption totals and per-tenant stats.
+	FleetSchedule = tenancy.Schedule
+	// FleetTenantStats is one tenant's measured outcome (latency
+	// decomposition, preemptions, checkpoint traffic, final result).
+	FleetTenantStats = tenancy.TenantStats
+	// FleetPolicy decides tenant placement and preemption.
+	FleetPolicy = tenancy.Policy
+	// FleetFIFO is strict arrival order, non-preemptive.
+	FleetFIFO = tenancy.FIFO
+	// FleetPriority is strict-priority with checkpoint preemption.
+	FleetPriority = tenancy.Priority
+	// FleetFairShare is deficit round-robin over measured machine cycles.
+	FleetFairShare = tenancy.FairShare
 )
+
+// ErrElasticConfig is the sentinel wrapped by checkpoint, restore and
+// session construction when the config carries elastic state
+// (CheckpointEvery/Faults): elastic runs manage their own recovery
+// checkpoints and cannot be externally paused. Detect it with errors.Is;
+// the fleet scheduler uses it to classify non-preemptible tenants.
+var ErrElasticConfig = scaleout.ErrElasticConfig
 
 // ScaleOutCheckpointVersion is the checkpoint blob format version this
 // build reads and writes.
@@ -332,6 +368,24 @@ func FormatUtilization(u *TelemetryUtilization) string { return report.Utilizati
 // FormatCriticalPath renders a critical-path attribution as an aligned
 // text table.
 func FormatCriticalPath(entries []TelemetryCPEntry) string { return report.CriticalPath(entries) }
+
+// NewScaleOutSession starts a pausable scale-out run (BSP preemptible
+// configurations only: overlapped and elastic configs cannot be paused —
+// the latter is reported via ErrElasticConfig).
+func NewScaleOutSession(reads []Read, tr *Trace, cfg ScaleOutConfig) (*ScaleOutSession, error) {
+	return scaleout.NewSession(reads, tr, cfg)
+}
+
+// ResumeScaleOutSession reopens a paused run from a checkpoint blob
+// (written by CheckpointScaleOut or ScaleOutSession.Checkpoint) for
+// further stepping; the input reads are not needed again.
+func ResumeScaleOutSession(tr *Trace, cfg ScaleOutConfig, blob []byte) (*ScaleOutSession, error) {
+	return scaleout.ResumeSession(tr, cfg, blob)
+}
+
+// FormatFleetSchedule renders a fleet schedule as the fleet summary plus
+// a per-tenant latency-decomposition table.
+func FormatFleetSchedule(s *FleetSchedule) string { return report.Tenancy(s) }
 
 // ParseSeq parses an ASCII DNA string.
 func ParseSeq(s string) (Seq, error) { return dna.ParseSeq(s) }
